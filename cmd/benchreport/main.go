@@ -1,0 +1,205 @@
+// Command benchreport regenerates the tables and figures of the IoT
+// Sentinel paper's evaluation section against the synthetic substrate.
+//
+// Usage:
+//
+//	benchreport -exp all
+//	benchreport -exp fig5 -captures 20 -folds 10 -repeats 10
+//	benchreport -exp ablation-trees
+//
+// Experiments: fig5, table3, table4, table5, table6, fig6a, fig6b,
+// fig6c, features, unknown, tradeoff, remote-controller, ablation-fplen, ablation-negratio,
+// ablation-trees, ablation-refs, ablation-discrimination,
+// ablation-threshold, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iotsentinel/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment to run")
+		captures = fs.Int("captures", 20, "setup captures per device-type")
+		folds    = fs.Int("folds", 10, "cross-validation folds")
+		repeats  = fs.Int("repeats", 10, "cross-validation repeats")
+		seed     = fs.Int64("seed", 1, "random seed")
+		iters    = fs.Int("iterations", 15, "latency iterations per pair")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := report.Options{
+		Captures:          *captures,
+		Folds:             *folds,
+		Repeats:           *repeats,
+		Seed:              *seed,
+		LatencyIterations: *iters,
+	}
+
+	experiments := map[string]func() error{
+		"fig5":   func() error { return runFig5(out, opts, false) },
+		"table3": func() error { return runFig5(out, opts, true) },
+		"table4": func() error {
+			r, err := report.Table4(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"table5": func() error {
+			r, err := report.Table5(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"table6": func() error {
+			r, err := report.Table6(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"fig6a": func() error {
+			r, err := report.Fig6a(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"fig6b": func() error {
+			r, err := report.Fig6b(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"fig6c": func() error {
+			r, err := report.Fig6c(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"ablation-trees":          ablation(out, opts, report.AblateForestSize),
+		"ablation-negratio":       ablation(out, opts, report.AblateNegativeRatio),
+		"ablation-refs":           ablation(out, opts, report.AblateReferenceCount),
+		"ablation-discrimination": ablation(out, opts, report.AblateDiscrimination),
+		"ablation-fplen":          ablation(out, opts, report.AblateFingerprintLength),
+		"ablation-threshold":      ablation(out, opts, report.AblateAcceptThreshold),
+		"tradeoff": func() error {
+			r, err := report.Tradeoff(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"remote-controller": func() error {
+			r, err := report.RemoteController(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"unknown": func() error {
+			r, err := report.Unknown(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+		"features": func() error {
+			r, err := report.FeatureImportance(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Render())
+			return nil
+		},
+	}
+
+	if *exp == "all" {
+		order := []string{
+			"fig5", "table3", "table4", "table5", "table6",
+			"fig6a", "fig6b", "fig6c", "features", "unknown", "tradeoff", "remote-controller",
+			"ablation-fplen", "ablation-negratio", "ablation-trees",
+			"ablation-refs", "ablation-discrimination", "ablation-threshold",
+		}
+		// fig5 and table3 share one cross-validation; run them jointly
+		// to avoid paying for it twice.
+		if err := runFig5Both(out, opts); err != nil {
+			return err
+		}
+		for _, name := range order[2:] {
+			fmt.Fprintln(out, "────────────────────────────────────────────────────────────")
+			if err := experiments[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+
+	fn, ok := experiments[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return fn()
+}
+
+func runFig5(out io.Writer, opts report.Options, table3 bool) error {
+	r, err := report.Fig5(opts)
+	if err != nil {
+		return err
+	}
+	if table3 {
+		fmt.Fprintln(out, report.Table3(r))
+	} else {
+		fmt.Fprintln(out, r.Render())
+	}
+	return nil
+}
+
+func runFig5Both(out io.Writer, opts report.Options) error {
+	r, err := report.Fig5(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, r.Render())
+	fmt.Fprintln(out, "────────────────────────────────────────────────────────────")
+	fmt.Fprintln(out, report.Table3(r))
+	return nil
+}
+
+func ablation(out io.Writer, opts report.Options, fn func(report.Options) (*report.AblationResult, error)) func() error {
+	return func() error {
+		r, err := fn(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.Render())
+		return nil
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny keeps per-experiment runtime low in tests.
+var tiny = []string{"-captures", "8", "-folds", "4", "-repeats", "1", "-iterations", "5"}
+
+func TestBenchreportExperiments(t *testing.T) {
+	for _, tt := range []struct{ exp, want string }{
+		{"fig5", "Fig 5"},
+		{"table3", "Table III"},
+		{"table4", "Table IV"},
+		{"table5", "Table V"},
+		{"table6", "Table VI"},
+		{"fig6a", "Fig 6a"},
+		{"fig6b", "Fig 6b"},
+		{"fig6c", "Fig 6c"},
+		{"features", "Feature importance"},
+		{"unknown", "Unknown-device detection"},
+		{"remote-controller", "Remote controller"},
+		{"tradeoff", "Operating curve"},
+		{"ablation-discrimination", "Ablation"},
+		{"ablation-threshold", "acceptance threshold"},
+	} {
+		t.Run(tt.exp, func(t *testing.T) {
+			var out bytes.Buffer
+			args := append([]string{"-exp", tt.exp}, tiny...)
+			if err := run(args, &out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(out.String(), tt.want) {
+				t.Errorf("%s output missing %q", tt.exp, tt.want)
+			}
+		})
+	}
+}
+
+func TestBenchreportUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDatagenAndLabels(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-captures", "3", "-types", "Aria,HueBridge"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote 6 captures") {
+		t.Errorf("output: %s", out.String())
+	}
+	labels, err := os.ReadFile(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatalf("labels: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(labels)), "\n")
+	if len(lines) != 7 { // header + 6 rows
+		t.Fatalf("labels has %d lines", len(lines))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcaps := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pcap") {
+			pcaps++
+		}
+	}
+	if pcaps != 6 {
+		t.Errorf("pcap files = %d, want 6", pcaps)
+	}
+}
+
+func TestDatagenUnknownType(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-types", "NoSuchDevice"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("D-LinkCam/1 x"); got != "D-LinkCam_1_x" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+func TestDatagenBidirectional(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-captures", "2", "-types", "Aria", "-bidirectional"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Bidirectional captures are strictly larger than the labelled
+	// device packet count (responses are not counted in labels).
+	labels, err := os.ReadFile(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(labels), "Aria_00.pcap") {
+		t.Errorf("labels: %s", labels)
+	}
+}

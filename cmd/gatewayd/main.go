@@ -1,0 +1,193 @@
+// Command gatewayd runs the Security Gateway as a daemon: it replays
+// device traffic (live deployments would bridge real interfaces),
+// consults an IoT Security Service — in-process or remote over HTTP,
+// the Fig 1 deployment split — and serves the management API.
+//
+// Usage:
+//
+//	gatewayd -api 127.0.0.1:8080                       # in-process IoTSSP
+//	gatewayd -api 127.0.0.1:8080 -ssp http://host:8477 # remote IoTSSP
+//	gatewayd -replay ./dataset -api 127.0.0.1:8080     # replay pcaps, then serve
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/gateway"
+	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/pcap"
+	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/vulndb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gatewayd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gatewayd", flag.ContinueOnError)
+	var (
+		apiAddr   = fs.String("api", "127.0.0.1:8080", "management API listen address")
+		sspURL    = fs.String("ssp", "", "remote IoT Security Service base URL (default: in-process)")
+		replayDir = fs.String("replay", "", "directory of pcap captures to replay on startup")
+		captures  = fs.Int("captures", 20, "training captures per type for the in-process service")
+		seed      = fs.Int64("seed", 1, "random seed")
+		oneshot   = fs.Bool("oneshot", false, "exit after replay instead of serving the API")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	assessor, err := buildAssessor(out, *sspURL, *captures, *seed)
+	if err != nil {
+		return err
+	}
+	cache := sdn.NewRuleCache()
+	ctrl := sdn.NewController(cache, mustPrefix())
+	sw := sdn.NewSwitch(ctrl, 30*time.Second)
+	gw := gateway.New(assessor, sw, gateway.Config{
+		OnAssessed: func(d gateway.DeviceInfo) {
+			fmt.Fprintf(out, "assessed %v as %q -> %s\n", d.MAC, orUnknown(string(d.Type)), d.Level)
+		},
+		OnNotify: func(n gateway.Notification) {
+			fmt.Fprintf(out, "USER ALERT: %s\n", n.Message)
+		},
+	})
+
+	if *replayDir != "" {
+		if err := replay(out, gw, *replayDir); err != nil {
+			return err
+		}
+	}
+	if *oneshot {
+		return nil
+	}
+
+	ln, err := net.Listen("tcp", *apiAddr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	srv := &http.Server{Handler: gw.APIHandler(nil), ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(out, "management API listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// buildAssessor wires either the HTTP client for a remote service or an
+// in-process service trained on the reference dataset.
+func buildAssessor(out io.Writer, sspURL string, captures int, seed int64) (iotssp.Assessor, error) {
+	if sspURL != "" {
+		fmt.Fprintf(out, "using remote IoT Security Service at %s\n", sspURL)
+		return &iotssp.Client{BaseURL: strings.TrimRight(sspURL, "/")}, nil
+	}
+	fmt.Fprintf(out, "training in-process IoT Security Service (%d captures x 27 types)...\n", captures)
+	raw := devices.GenerateDataset(captures, seed)
+	ds := make(map[core.TypeID][]fingerprint.Fingerprint, len(raw))
+	for k, v := range raw {
+		ds[core.TypeID(k)] = v
+	}
+	id, err := core.Train(ds, core.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return iotssp.New(id, vulndb.NewDefault()), nil
+}
+
+// replay feeds every pcap in dir through the gateway's data path in
+// timestamp order, then force-finishes any still-monitoring devices.
+func replay(out io.Writer, gw *gateway.Gateway, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pcap") || strings.HasSuffix(e.Name(), ".pcapng") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var last time.Time
+	frames := 0
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", name, err)
+		}
+		recs, err := pcap.ReadAllAuto(f)
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", name, err)
+		}
+		for _, rec := range recs {
+			pk, err := packet.Decode(rec.Data)
+			if err != nil {
+				continue // foreign or unsupported frame
+			}
+			if _, err := gw.HandlePacket(rec.Time, pk); err != nil {
+				return fmt.Errorf("replay %s: %w", name, err)
+			}
+			frames++
+			if rec.Time.After(last) {
+				last = rec.Time
+			}
+		}
+	}
+	// Any devices still monitoring saw their whole capture: finish
+	// them so rules land.
+	for _, d := range gw.Devices() {
+		if d.State == gateway.StateMonitoring {
+			if err := gw.FinishSetup(d.MAC, last.Add(time.Minute)); err != nil {
+				return fmt.Errorf("replay finish %v: %w", d.MAC, err)
+			}
+		}
+	}
+	fmt.Fprintf(out, "replayed %d frames from %d captures; %d devices assessed\n",
+		frames, len(names), len(gw.Devices()))
+	return nil
+}
+
+func mustPrefix() netip.Prefix {
+	return netip.MustParsePrefix("192.168.0.0/16")
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "UNKNOWN"
+	}
+	return s
+}

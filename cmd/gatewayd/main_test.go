@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/vulndb"
+)
+
+// writeReplayDir writes a few single-device captures as pcaps.
+func writeReplayDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i, typ := range []string{"Aria", "HueBridge", "EdnetCam"} {
+		p, err := devices.ProfileByID(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := devices.GenerateCaptures(p, 1, int64(300+i))[0]
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s.pcap", typ)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WritePCAP(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestGatewaydReplayOneshotInProcess(t *testing.T) {
+	dir := writeReplayDir(t)
+	var out bytes.Buffer
+	err := run([]string{"-replay", dir, "-oneshot", "-captures", "10"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		`assessed`, `"EdnetCam" -> restricted`, `"HueBridge" -> trusted`,
+		"3 devices assessed", "USER ALERT",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGatewaydRemoteSSP(t *testing.T) {
+	// Stand up a real IoTSSP HTTP server, then point gatewayd at it —
+	// the Fig 1 deployment split end to end.
+	raw := devices.GenerateDataset(10, 5)
+	ds := make(map[core.TypeID][]fingerprint.Fingerprint)
+	for _, typ := range []string{"Aria", "HueBridge", "EdnetCam", "Withings"} {
+		ds[core.TypeID(typ)] = raw[typ]
+	}
+	id, err := core.Train(ds, core.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := iotssp.New(id, vulndb.NewDefault())
+	srv := httptest.NewServer(iotssp.Handler(svc))
+	defer srv.Close()
+
+	dir := writeReplayDir(t)
+	var out bytes.Buffer
+	if err := run([]string{"-replay", dir, "-oneshot", "-ssp", srv.URL}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "using remote IoT Security Service") {
+		t.Errorf("output missing remote banner:\n%s", s)
+	}
+	if !strings.Contains(s, `"EdnetCam" -> restricted`) {
+		t.Errorf("remote assessment missing:\n%s", s)
+	}
+}
+
+func TestGatewaydBadReplayDir(t *testing.T) {
+	if err := run([]string{"-replay", "/nonexistent-dir-xyz", "-oneshot", "-captures", "4"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad replay dir must fail")
+	}
+}

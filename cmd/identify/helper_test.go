@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iotsentinel/internal/devices"
+)
+
+// writeViaDevices writes a 4-type, 6-capture-per-type dataset.
+func writeViaDevices(t *testing.T, dir string) {
+	t.Helper()
+	labels, err := os.Create(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = labels.Close() }()
+	fmt.Fprintln(labels, "file,device_type,device_mac,packets")
+	for i, typ := range []string{"Aria", "HueBridge", "Withings", "EdnetCam"} {
+		p, err := devices.ProfileByID(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, c := range devices.GenerateCaptures(p, 6, int64(100+i)) {
+			name := fmt.Sprintf("%s_%d.pcap", typ, j)
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.WritePCAP(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(labels, "%s,%s,%s,%d\n", name, typ, c.MAC, len(c.Packets))
+		}
+	}
+}

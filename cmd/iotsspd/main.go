@@ -1,0 +1,106 @@
+// Command iotsspd runs the IoT Security Service as a standalone HTTP
+// server, the deployment split of Fig 1: Security Gateways in home
+// networks query this service for device-type identification and
+// isolation-level decisions. Per Sect. III-B the service is stateless
+// with respect to its clients.
+//
+// Usage:
+//
+//	iotsspd -listen :8477                      # train on the reference dataset
+//	iotsspd -listen :8477 -model model.json    # serve a saved model
+//
+// Endpoints: POST /v1/assess, GET /v1/types (see internal/iotssp).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/vulndb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "iotsspd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("iotsspd", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:8477", "listen address")
+		modelFile = fs.String("model", "", "saved identifier model (default: train on the reference dataset)")
+		captures  = fs.Int("captures", 20, "training captures per type when no model is given")
+		seed      = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var id *core.Identifier
+	if *modelFile != "" {
+		f, err := os.Open(*modelFile)
+		if err != nil {
+			return fmt.Errorf("open model: %w", err)
+		}
+		id, err = core.LoadIdentifier(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded model with %d device-types\n", id.NumTypes())
+	} else {
+		fmt.Fprintf(out, "training on the reference dataset (%d captures x 27 types)...\n", *captures)
+		raw := devices.GenerateDataset(*captures, *seed)
+		ds := make(map[core.TypeID][]fingerprint.Fingerprint, len(raw))
+		for k, v := range raw {
+			ds[core.TypeID(k)] = v
+		}
+		var err error
+		id, err = core.Train(ds, core.Config{Seed: *seed})
+		if err != nil {
+			return err
+		}
+	}
+	svc := iotssp.New(id, vulndb.NewDefault())
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           iotssp.Handler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(out, "IoT Security Service listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/fingerprint"
+)
+
+func TestServerServesAndShutsDown(t *testing.T) {
+	// Train a tiny model to a file so startup is fast.
+	raw := devices.GenerateDataset(4, 1)
+	ds := make(map[core.TypeID][]fingerprint.Fingerprint)
+	for _, typ := range []string{"Aria", "HueBridge", "EdnetCam"} {
+		ds[core.TypeID(typ)] = raw[typ]
+	}
+	id, err := core.Train(ds, core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := filepath.Join(t.TempDir(), "m.json")
+	f, err := os.Create(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := id.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-listen", "127.0.0.1:8493", "-model", model}, &out)
+	}()
+
+	// Wait for the listener.
+	var resp *http.Response
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err = http.Get("http://127.0.0.1:8493/v1/types")
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	body := make([]byte, 512)
+	n, _ := resp.Body.Read(body)
+	_ = resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "HueBridge") {
+		t.Errorf("types response: %s", body[:n])
+	}
+
+	// SIGINT triggers graceful shutdown.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestServerBadModel(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", bad}, &bytes.Buffer{}); err == nil {
+		t.Error("bad model must fail")
+	}
+}
+
+func TestServerBadListen(t *testing.T) {
+	model := filepath.Join(t.TempDir(), "missing.json")
+	if err := run([]string{"-listen", "256.0.0.1:99999", "-model", model}, &bytes.Buffer{}); err == nil {
+		t.Error("bad listen address must fail")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSentinelEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-devices", "EdnetCam,HueBridge", "-captures", "10", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"identified as: EdnetCam",
+		"isolation level: restricted",
+		"identified as: HueBridge",
+		"isolation level: trusted",
+		"enforcement-rule cache:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSentinelUnknownDeviceType(t *testing.T) {
+	if err := run([]string{"-devices", "NoSuchThing", "-captures", "5"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown device type must fail")
+	}
+}

@@ -1,0 +1,115 @@
+// Enforcement demonstrates the SDN enforcement plane of Sect. V on the
+// paper's Fig 4 lab network: three isolation levels, the per-device
+// enforcement-rule cache, overlay isolation between trusted and
+// untrusted devices, and the latency cost of filtering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"iotsentinel/internal/netsim"
+	"iotsentinel/internal/sdn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab, err := netsim.NewLab(1)
+	if err != nil {
+		return err
+	}
+	remote, err := lab.Net.Host("Sremote")
+	if err != nil {
+		return err
+	}
+
+	// Assign the three isolation levels of Fig 3: D1 is a vulnerable
+	// plug restricted to its vendor cloud, D2 is an unknown device in
+	// strict isolation, D3/D4 are trusted.
+	d1, d2 := labDevice(1), labDevice(2)
+	lab.Cache.Put(&sdn.EnforcementRule{
+		DeviceMAC:    d1,
+		Level:        sdn.Restricted,
+		PermittedIPs: []netip.Addr{remote.IP},
+		DeviceType:   "EdimaxPlug1101W",
+	})
+	lab.Cache.Put(&sdn.EnforcementRule{
+		DeviceMAC:  d2,
+		Level:      sdn.Strict,
+		DeviceType: "unknown",
+	})
+	lab.Net.Switch().InvalidateDevice(d1)
+	lab.Net.Switch().InvalidateDevice(d2)
+
+	fmt.Println("enforcement rules:")
+	for _, r := range lab.Cache.Rules() {
+		fmt.Printf("  %v  %-10s  type=%s\n", r.DeviceMAC, r.Level, r.DeviceType)
+	}
+
+	fmt.Println("\npolicy probes:")
+	probes := []struct{ src, dst, expect string }{
+		{"D1", "Sremote", "forward (restricted: permitted cloud endpoint)"},
+		{"D2", "Sremote", "drop (strict: no internet)"},
+		{"D2", "D1", "forward (both in untrusted overlay)"},
+		{"D2", "D4", "drop (cross-overlay isolation)"},
+		{"D3", "D4", "forward (both trusted)"},
+		{"D3", "Sremote", "forward (trusted: full internet)"},
+	}
+	for _, p := range probes {
+		res, err := lab.Net.Ping(p.src, p.dst)
+		if err != nil {
+			return err
+		}
+		verdict := "drop"
+		if res.Delivered {
+			verdict = fmt.Sprintf("forward (RTT %.1f ms)", float64(res.RTT.Microseconds())/1000)
+		}
+		fmt.Printf("  %-3s -> %-8s %-28s expected: %s\n", p.src, p.dst, verdict, p.expect)
+	}
+
+	// Filtering cost: measure D3-D4 latency with and without the
+	// enforcement module.
+	withStat, err := lab.Net.MeasureLatency("D3", "D4", 15)
+	if err != nil {
+		return err
+	}
+	lab.Ctrl.SetFiltering(false)
+	withoutStat, err := lab.Net.MeasureLatency("D3", "D4", 15)
+	if err != nil {
+		return err
+	}
+	lab.Ctrl.SetFiltering(true)
+	fmt.Printf("\nD3-D4 latency: %.1f ms with filtering, %.1f ms without (overhead %.1f%%)\n",
+		ms(withStat), ms(withoutStat),
+		100*float64(withStat.Mean-withoutStat.Mean)/float64(withoutStat.Mean))
+
+	// Rule-cache behaviour at scale: O(1) lookups as rules grow.
+	for i := 0; i < 5000; i++ {
+		mac := sdnMAC(i)
+		lab.Cache.Put(&sdn.EnforcementRule{DeviceMAC: mac, Level: sdn.Strict})
+	}
+	hits, misses := lab.Cache.Stats()
+	fmt.Printf("\nrule cache: %d rules, %.2f MB estimated, %d hits / %d misses so far\n",
+		lab.Cache.Len(), float64(lab.Cache.ApproxBytes())/(1024*1024), hits, misses)
+	fmt.Printf("gateway model: CPU %.1f%%, memory %.1f MB\n",
+		lab.Net.CPUUtilization(), lab.Net.MemoryMB())
+	return nil
+}
+
+func labDevice(i int) [6]byte {
+	return [6]byte{0x02, 0xd0, 0x00, 0x00, 0x00, byte(i)}
+}
+
+func sdnMAC(i int) [6]byte {
+	return [6]byte{0x02, 0xcd, byte(i >> 16), byte(i >> 8), byte(i), 1}
+}
+
+func ms(s netsim.LatencyStat) float64 {
+	return float64(s.Mean.Microseconds()) / 1000
+}

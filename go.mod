@@ -1,0 +1,3 @@
+module iotsentinel
+
+go 1.22

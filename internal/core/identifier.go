@@ -1,0 +1,302 @@
+// Package core implements IoT Sentinel's device-type identification
+// pipeline (Sect. IV-B): a bank of one-vs-rest Random Forest classifiers
+// (one per device-type) over the fixed-size fingerprint F′, followed by
+// Damerau-Levenshtein edit-distance discrimination over the full
+// fingerprint F when several classifiers accept.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"iotsentinel/internal/editdist"
+	"iotsentinel/internal/features"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/ml/rf"
+)
+
+// TypeID names a device-type: the combination of make, model and
+// software version (e.g. "D-LinkCam").
+type TypeID string
+
+// Unknown is returned when no classifier accepts a fingerprint,
+// signalling a previously unseen device-type.
+const Unknown TypeID = ""
+
+// Config controls identifier training. The zero value selects the
+// paper's parameters.
+type Config struct {
+	// Forest configures the per-type Random Forest classifiers.
+	Forest rf.Config
+	// NegativeRatio is the number of negative samples per positive
+	// sample when training a type's classifier (paper: 10).
+	NegativeRatio int
+	// RefFingerprints is the number of stored reference fingerprints
+	// per type used by edit-distance discrimination (paper: 5).
+	RefFingerprints int
+	// AcceptThreshold is the minimum vote fraction for a classifier to
+	// accept a fingerprint (default 0.5, i.e. majority vote).
+	AcceptThreshold float64
+	// Seed makes training and reference selection deterministic.
+	Seed int64
+	// DisableDiscrimination skips the edit-distance tie-break and
+	// resolves multi-matches by taking the first accepted type in
+	// sorted order. It exists for the ablation study of the
+	// discrimination stage and should stay false in production.
+	DisableDiscrimination bool
+}
+
+func (c Config) normalize() Config {
+	if c.NegativeRatio <= 0 {
+		c.NegativeRatio = 10
+	}
+	if c.RefFingerprints <= 0 {
+		c.RefFingerprints = 5
+	}
+	if c.AcceptThreshold <= 0 {
+		c.AcceptThreshold = 0.5
+	}
+	return c
+}
+
+// typeModel is the per-type classifier plus its discrimination
+// references.
+type typeModel struct {
+	forest *rf.Forest
+	refs   []fingerprint.F
+}
+
+// Identifier is a trained device-type identification pipeline. The
+// "one classifier per device-type" design lets new types be added with
+// AddType without retraining existing classifiers.
+type Identifier struct {
+	cfg    Config
+	rng    *rand.Rand
+	models map[TypeID]*typeModel
+	// pool keeps all training fingerprints per type so that future
+	// AddType calls can draw negatives from the full population.
+	pool map[TypeID][]fingerprint.Fingerprint
+}
+
+// Train builds one classifier per device-type from labelled
+// fingerprints. Every type needs at least one fingerprint, and at least
+// two types are required (classifiers need negatives).
+func Train(samples map[TypeID][]fingerprint.Fingerprint, cfg Config) (*Identifier, error) {
+	cfg = cfg.normalize()
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("core: need fingerprints for at least 2 types, got %d", len(samples))
+	}
+	id := &Identifier{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		models: make(map[TypeID]*typeModel, len(samples)),
+		pool:   make(map[TypeID][]fingerprint.Fingerprint, len(samples)),
+	}
+	for t, fps := range samples {
+		if len(fps) == 0 {
+			return nil, fmt.Errorf("core: type %q has no fingerprints", t)
+		}
+		id.pool[t] = append([]fingerprint.Fingerprint(nil), fps...)
+	}
+	// Train in sorted type order for determinism.
+	for _, t := range id.Types() {
+		if err := id.trainType(t); err != nil {
+			return nil, err
+		}
+	}
+	return id, nil
+}
+
+// Types returns the known device-types in sorted order.
+func (id *Identifier) Types() []TypeID {
+	out := make([]TypeID, 0, len(id.pool))
+	for t := range id.pool {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumTypes returns the number of known device-types.
+func (id *Identifier) NumTypes() int { return len(id.models) }
+
+// AddType trains a classifier for a new device-type without touching
+// the existing classifiers — the incremental-learning property of the
+// one-classifier-per-type design.
+func (id *Identifier) AddType(t TypeID, fps []fingerprint.Fingerprint) error {
+	if len(fps) == 0 {
+		return fmt.Errorf("core: type %q has no fingerprints", t)
+	}
+	if _, ok := id.pool[t]; ok {
+		return fmt.Errorf("core: type %q already trained", t)
+	}
+	id.pool[t] = append([]fingerprint.Fingerprint(nil), fps...)
+	if err := id.trainType(t); err != nil {
+		delete(id.pool, t)
+		return err
+	}
+	return nil
+}
+
+// trainType fits the one-vs-rest classifier for t: all of t's
+// fingerprints as the positive class, and NegativeRatio×n fingerprints
+// sampled from the other types as the negative class.
+func (id *Identifier) trainType(t TypeID) error {
+	pos := id.pool[t]
+	// Build the negative pool in sorted type order: map iteration
+	// order would make the negative subsample nondeterministic.
+	var negPool []fingerprint.Fingerprint
+	for _, ot := range id.Types() {
+		if ot != t {
+			negPool = append(negPool, id.pool[ot]...)
+		}
+	}
+	if len(negPool) == 0 {
+		return fmt.Errorf("core: no negative samples available for type %q", t)
+	}
+	nNeg := id.cfg.NegativeRatio * len(pos)
+	if nNeg > len(negPool) {
+		nNeg = len(negPool)
+	}
+	// Deterministic subsample of the negative pool.
+	perm := id.rng.Perm(len(negPool))
+	x := make([][]float64, 0, len(pos)+nNeg)
+	y := make([]int, 0, len(pos)+nNeg)
+	for _, fp := range pos {
+		x = append(x, fp.FPrime[:])
+		y = append(y, 1)
+	}
+	for _, pi := range perm[:nNeg] {
+		x = append(x, negPool[pi].FPrime[:])
+		y = append(y, 0)
+	}
+	fcfg := id.cfg.Forest
+	fcfg.Seed = id.rng.Int63()
+	forest, err := rf.Train(x, y, fcfg)
+	if err != nil {
+		return fmt.Errorf("core: train classifier for %q: %w", t, err)
+	}
+	// Reference fingerprints for discrimination: a random subset of
+	// the positive class.
+	refIdx := id.rng.Perm(len(pos))
+	nRefs := id.cfg.RefFingerprints
+	if nRefs > len(pos) {
+		nRefs = len(pos)
+	}
+	refs := make([]fingerprint.F, 0, nRefs)
+	for _, ri := range refIdx[:nRefs] {
+		refs = append(refs, pos[ri].F)
+	}
+	id.models[t] = &typeModel{forest: forest, refs: refs}
+	return nil
+}
+
+// Result reports the outcome of one identification.
+type Result struct {
+	// Type is the predicted device-type, or Unknown when every
+	// classifier rejected the fingerprint.
+	Type TypeID
+	// Matches lists every type whose classifier accepted the
+	// fingerprint, sorted.
+	Matches []TypeID
+	// Scores holds the per-candidate dissimilarity score in [0,
+	// RefFingerprints] when discrimination ran.
+	Scores map[TypeID]float64
+	// Discriminated reports whether the edit-distance step ran.
+	Discriminated bool
+	// EditDistances is the number of edit-distance computations
+	// performed (Table IV's "7 discriminations" average).
+	EditDistances int
+	// ClassifyTime and DiscriminateTime break down where time went.
+	ClassifyTime     time.Duration
+	DiscriminateTime time.Duration
+}
+
+// Identify runs the two-stage pipeline on one fingerprint.
+func (id *Identifier) Identify(fp fingerprint.Fingerprint) Result {
+	var res Result
+
+	start := time.Now()
+	for _, t := range id.Types() {
+		m := id.models[t]
+		if m.forest.SoftProba(fp.FPrime[:])[1] >= id.cfg.AcceptThreshold {
+			res.Matches = append(res.Matches, t)
+		}
+	}
+	res.ClassifyTime = time.Since(start)
+
+	switch len(res.Matches) {
+	case 0:
+		res.Type = Unknown
+		return res
+	case 1:
+		res.Type = res.Matches[0]
+		return res
+	}
+
+	if id.cfg.DisableDiscrimination {
+		res.Type = res.Matches[0]
+		return res
+	}
+
+	// Multiple matches: discriminate by summed normalized edit
+	// distance to each candidate's reference fingerprints.
+	start = time.Now()
+	res.Discriminated = true
+	res.Scores = make(map[TypeID]float64, len(res.Matches))
+	best := Unknown
+	bestScore := float64(len(id.models)) * float64(id.cfg.RefFingerprints)
+	for _, t := range res.Matches {
+		score := 0.0
+		for _, ref := range id.models[t].refs {
+			score += editdist.FingerprintDistance(fp.F, ref)
+			res.EditDistances++
+		}
+		res.Scores[t] = score
+		if best == Unknown || score < bestScore {
+			best, bestScore = t, score
+		}
+	}
+	res.DiscriminateTime = time.Since(start)
+	res.Type = best
+	return res
+}
+
+// ClassifyOnly runs only the classifier bank and returns the accepted
+// types; used by the discrimination on/off ablation.
+func (id *Identifier) ClassifyOnly(fp fingerprint.Fingerprint) []TypeID {
+	var matches []TypeID
+	for _, t := range id.Types() {
+		if id.models[t].forest.SoftProba(fp.FPrime[:])[1] >= id.cfg.AcceptThreshold {
+			matches = append(matches, t)
+		}
+	}
+	return matches
+}
+
+// FeatureImportance aggregates Gini feature importance across every
+// type's classifier, returning one normalized weight per fingerprint
+// dimension group: the 276 F′ dimensions are folded back onto the 23
+// packet features of Table I (each feature appears once per packet
+// slot).
+func (id *Identifier) FeatureImportance() [features.Count]float64 {
+	var out [features.Count]float64
+	for _, t := range id.Types() {
+		imp := id.models[t].forest.FeatureImportance(fingerprint.FPrimeLen)
+		for dim, w := range imp {
+			out[dim%features.Count] += w
+		}
+	}
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}

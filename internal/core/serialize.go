@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"iotsentinel/internal/features"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/ml/rf"
+)
+
+// Identifier persistence: the trained classifier bank, the
+// discrimination references and the training pool are saved so a
+// reloaded identifier answers identically and still supports AddType.
+
+const wireVersion = 1
+
+type wireIdentifier struct {
+	Version int            `json:"version"`
+	Config  Config         `json:"config"`
+	Types   []wireTypeData `json:"types"`
+}
+
+type wireTypeData struct {
+	ID string `json:"id"`
+	// Forest is the rf wire format, embedded verbatim.
+	Forest json.RawMessage `json:"forest"`
+	// Refs and Pool carry fingerprint matrices F as row lists; F′ is
+	// derived deterministically on load.
+	Refs [][][]float64 `json:"refs"`
+	Pool [][][]float64 `json:"pool"`
+}
+
+// Save serializes the identifier to w as versioned JSON.
+func (id *Identifier) Save(w io.Writer) error {
+	out := wireIdentifier{Version: wireVersion, Config: id.cfg}
+	for _, t := range id.Types() {
+		m := id.models[t]
+		var fbuf bytes.Buffer
+		if err := m.forest.Save(&fbuf); err != nil {
+			return fmt.Errorf("core: save %q: %w", t, err)
+		}
+		td := wireTypeData{ID: string(t), Forest: fbuf.Bytes()}
+		for _, ref := range m.refs {
+			td.Refs = append(td.Refs, fToRows(ref))
+		}
+		for _, fp := range id.pool[t] {
+			td.Pool = append(td.Pool, fToRows(fp.F))
+		}
+		out.Types = append(out.Types, td)
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// LoadIdentifier deserializes an identifier previously written by Save.
+func LoadIdentifier(r io.Reader) (*Identifier, error) {
+	var in wireIdentifier
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if in.Version != wireVersion {
+		return nil, fmt.Errorf("core: load: unsupported version %d", in.Version)
+	}
+	if len(in.Types) == 0 {
+		return nil, fmt.Errorf("core: load: no types")
+	}
+	id := &Identifier{
+		cfg:    in.Config.normalize(),
+		rng:    rand.New(rand.NewSource(in.Config.Seed)),
+		models: make(map[TypeID]*typeModel, len(in.Types)),
+		pool:   make(map[TypeID][]fingerprint.Fingerprint, len(in.Types)),
+	}
+	for _, td := range in.Types {
+		t := TypeID(td.ID)
+		if _, dup := id.models[t]; dup {
+			return nil, fmt.Errorf("core: load: duplicate type %q", t)
+		}
+		forest, err := rf.Load(bytes.NewReader(td.Forest))
+		if err != nil {
+			return nil, fmt.Errorf("core: load %q: %w", t, err)
+		}
+		m := &typeModel{forest: forest}
+		for i, rows := range td.Refs {
+			f, err := rowsToF(rows)
+			if err != nil {
+				return nil, fmt.Errorf("core: load %q ref %d: %w", t, i, err)
+			}
+			m.refs = append(m.refs, f)
+		}
+		id.models[t] = m
+		for i, rows := range td.Pool {
+			f, err := rowsToF(rows)
+			if err != nil {
+				return nil, fmt.Errorf("core: load %q pool %d: %w", t, i, err)
+			}
+			id.pool[t] = append(id.pool[t], fingerprint.FromVectors(f))
+		}
+		if len(id.pool[t]) == 0 {
+			return nil, fmt.Errorf("core: load %q: empty training pool", t)
+		}
+	}
+	return id, nil
+}
+
+func fToRows(f fingerprint.F) [][]float64 {
+	rows := make([][]float64, len(f))
+	for i, v := range f {
+		rows[i] = append([]float64(nil), v[:]...)
+	}
+	return rows
+}
+
+func rowsToF(rows [][]float64) (fingerprint.F, error) {
+	f := make(fingerprint.F, len(rows))
+	for i, row := range rows {
+		if len(row) != features.Count {
+			return nil, fmt.Errorf("row %d has %d features, want %d", i, len(row), features.Count)
+		}
+		copy(f[i][:], row)
+	}
+	return f, nil
+}

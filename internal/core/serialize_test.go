@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIdentifierSaveLoad(t *testing.T) {
+	id, _ := trainedIdentifier(t)
+	var buf bytes.Buffer
+	if err := id.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	re, err := LoadIdentifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadIdentifier: %v", err)
+	}
+	if re.NumTypes() != id.NumTypes() {
+		t.Fatalf("NumTypes: %d vs %d", re.NumTypes(), id.NumTypes())
+	}
+	// Identical predictions on fresh probes.
+	probes := synthType([]float64{60, 70, 80}, 10, 15, 500)
+	for i, fp := range probes {
+		a, b := id.Identify(fp), re.Identify(fp)
+		if a.Type != b.Type {
+			t.Errorf("probe %d: %q vs %q after reload", i, a.Type, b.Type)
+		}
+	}
+}
+
+func TestIdentifierLoadSupportsAddType(t *testing.T) {
+	id, _ := trainedIdentifier(t)
+	var buf bytes.Buffer
+	if err := id.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	re, err := LoadIdentifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadIdentifier: %v", err)
+	}
+	if err := re.AddType("delta", synthType([]float64{1500, 1510}, 20, 15, 9)); err != nil {
+		t.Fatalf("AddType after reload: %v", err)
+	}
+	hits := 0
+	for _, fp := range synthType([]float64{1500, 1510}, 5, 15, 600) {
+		if re.Identify(fp).Type == "delta" {
+			hits++
+		}
+	}
+	if hits < 4 {
+		t.Errorf("new type after reload: %d/5", hits)
+	}
+}
+
+func TestLoadIdentifierErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"garbage", "{nope"},
+		{"bad-version", `{"version":9,"config":{},"types":[{"id":"a"}]}`},
+		{"no-types", `{"version":1,"config":{},"types":[]}`},
+		{"bad-forest", `{"version":1,"config":{},"types":[{"id":"a","forest":{},"pool":[[[1]]]}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := LoadIdentifier(strings.NewReader(tt.give)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package devices
+
+// Sect. VIII-B reproduction: a firmware update changes a device's
+// fingerprint enough that the identification pipeline distinguishes
+// the old and new versions — the property that lets IoT Sentinel treat
+// "device-type" as make+model+software version and re-assess patched
+// devices.
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotsentinel/internal/fingerprint"
+)
+
+func TestFirmwareUpdateDistinguishable(t *testing.T) {
+	orig, err := ProfileByID("EdimaxCam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := orig.WithFirmwareUpdate()
+
+	rng := rand.New(rand.NewSource(17))
+	gen := func(p *Profile, n int) []fingerprint.Fingerprint {
+		out := make([]fingerprint.Fingerprint, 0, n)
+		for i := 0; i < n; i++ {
+			cap := p.Generate(rng)
+			out = append(out, fingerprint.FromPackets(cap.Packets))
+		}
+		return out
+	}
+
+	// Train the pair discrimination exactly as the pipeline would: the
+	// two versions become two device-types.
+	oldFPs := gen(orig, 20)
+	newFPs := gen(updated, 20)
+
+	// The fixed-size fingerprints of the two versions must differ in
+	// distribution: no new-firmware F' may equal an old-firmware F'.
+	for i, nf := range newFPs {
+		for j, of := range oldFPs {
+			if nf.FPrime == of.FPrime {
+				t.Fatalf("new fingerprint %d identical to old fingerprint %d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package devices
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GenerateStandby synthesizes the steady-state traffic of an
+// already-installed device (Sect. VIII-A): periodic heartbeats to the
+// vendor cloud, occasional ARP refreshes and NTP synchronization, but
+// no association or DHCP exchange. The paper's working hypothesis is
+// that these standby exchanges are also device-type-characteristic;
+// this generator preserves each profile's cloud endpoints and message
+// sizes so that hypothesis can be evaluated on the synthetic substrate.
+func (p *Profile) GenerateStandby(rng *rand.Rand, cycles int) Capture {
+	if cycles <= 0 {
+		cycles = 3
+	}
+	ctx := &genCtx{
+		rng:     rng,
+		profile: p,
+		mac:     p.MAC(rng),
+		gwMAC:   GatewayMAC(),
+		devIP:   deviceIP(rng),
+		gwIP:    gatewayIP(),
+	}
+	t := p.traits
+	for c := 0; c < cycles; c++ {
+		// ARP cache refresh for the gateway.
+		stepARP(1)(ctx)
+		if t.ntp && c%2 == 0 {
+			stepNTP()(ctx)
+		}
+		// Heartbeat to each cloud endpooint the firmware knows.
+		for _, ep := range t.cloud {
+			stepCloud(ep)(ctx)
+		}
+		// mDNS/SSDP re-announcements happen sporadically in standby.
+		if len(t.mdnsNames) > 0 && rng.Float64() < 0.4 {
+			stepMDNS(t.mdnsNames[0])(ctx)
+		}
+		if len(t.ssdpTargets) > 0 && rng.Float64() < 0.3 {
+			stepSSDP(t.ssdpTargets[0])(ctx)
+		}
+	}
+
+	// Standby packets arrive in slow periodic bursts: seconds to tens
+	// of seconds apart rather than the setup phase's tight sequence.
+	times := make([]time.Time, len(ctx.out))
+	ts := time.Unix(1460200000, 0).UTC()
+	for i := range ctx.out {
+		ts = ts.Add(time.Duration(1+rng.Intn(8)) * time.Second)
+		times[i] = ts
+	}
+	return Capture{Type: p.ID, MAC: ctx.mac, Packets: ctx.out, Times: times}
+}
+
+// GenerateStandbyDataset builds a labelled standby-fingerprint dataset
+// for every catalog profile.
+func GenerateStandbyDataset(capturesPerType int, seed int64) Dataset {
+	if capturesPerType <= 0 {
+		capturesPerType = CapturesPerType
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := make(Dataset)
+	for _, p := range Catalog() {
+		for i := 0; i < capturesPerType; i++ {
+			cap := p.GenerateStandby(rng, 3)
+			ds[p.ID] = append(ds[p.ID], fingerprintFromCapture(cap))
+		}
+	}
+	return ds
+}
+
+// GenerateOperation synthesizes normal-operation traffic: the burst a
+// device emits when the user actuates it through the vendor app — a
+// cloud exchange per command plus local mDNS/SSDP responses. Together
+// with setup and standby traffic this covers the three traffic modes
+// Sect. VIII-A discusses.
+func (p *Profile) GenerateOperation(rng *rand.Rand, commands int) Capture {
+	if commands <= 0 {
+		commands = 5
+	}
+	ctx := &genCtx{
+		rng:     rng,
+		profile: p,
+		mac:     p.MAC(rng),
+		gwMAC:   GatewayMAC(),
+		devIP:   deviceIP(rng),
+		gwIP:    gatewayIP(),
+	}
+	t := p.traits
+	for c := 0; c < commands; c++ {
+		// Command acknowledgement to the primary cloud endpoint.
+		if len(t.cloud) > 0 {
+			stepCloud(t.cloud[0])(ctx)
+		}
+		// Local discovery answers while the app is open.
+		if len(t.mdnsNames) > 0 && rng.Float64() < 0.5 {
+			stepMDNS(t.mdnsNames[0])(ctx)
+		}
+		if len(t.ssdpTargets) > 0 && rng.Float64() < 0.3 {
+			stepSSDP(t.ssdpTargets[0])(ctx)
+		}
+	}
+
+	// Commands arrive in quick bursts separated by user think time.
+	times := make([]time.Time, len(ctx.out))
+	ts := time.Unix(1460300000, 0).UTC()
+	for i := range ctx.out {
+		gap := time.Duration(20+rng.Intn(200)) * time.Millisecond
+		if rng.Float64() < 0.2 {
+			gap = time.Duration(2+rng.Intn(6)) * time.Second
+		}
+		ts = ts.Add(gap)
+		times[i] = ts
+	}
+	return Capture{Type: p.ID, MAC: ctx.mac, Packets: ctx.out, Times: times}
+}

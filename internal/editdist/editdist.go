@@ -1,0 +1,113 @@
+// Package editdist implements the Damerau-Levenshtein edit distance used
+// by the discrimination step of Sect. IV-B2: insertion, deletion,
+// substitution and immediate (adjacent) transposition of characters,
+// i.e. the optimal-string-alignment variant. A "character" is one packet
+// column of the fingerprint matrix F; two characters are equal iff all
+// 23 features agree.
+package editdist
+
+import (
+	"iotsentinel/internal/features"
+	"iotsentinel/internal/fingerprint"
+)
+
+// Distance computes the restricted Damerau-Levenshtein distance between
+// two symbol sequences.
+func Distance(a, b []int) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three-row rolling DP: prev2 (i-2), prev (i-1), cur (i).
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := min3(
+				prev[j]+1,      // deletion
+				cur[j-1]+1,     // insertion
+				prev[j-1]+cost, // substitution / match
+			)
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t // adjacent transposition
+				}
+			}
+			cur[j] = d
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// Normalized divides the edit distance by the length of the longer
+// sequence, yielding a value in [0, 1]. Two empty sequences have
+// distance 0.
+func Normalized(a, b []int) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(Distance(a, b)) / float64(n)
+}
+
+// Interner maps feature vectors to stable integer symbols so fingerprint
+// matrices can be compared as words. Not safe for concurrent use.
+type Interner struct {
+	symbols map[features.Vector]int
+}
+
+// NewInterner returns an empty Interner.
+func NewInterner() *Interner {
+	return &Interner{symbols: make(map[features.Vector]int)}
+}
+
+// Word converts a fingerprint F to its symbol sequence.
+func (in *Interner) Word(f fingerprint.F) []int {
+	out := make([]int, len(f))
+	for i, v := range f {
+		s, ok := in.symbols[v]
+		if !ok {
+			s = len(in.symbols)
+			in.symbols[v] = s
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Size returns the number of distinct symbols seen so far.
+func (in *Interner) Size() int { return len(in.symbols) }
+
+// FingerprintDistance computes the normalized Damerau-Levenshtein
+// distance between two fingerprint matrices, treating each packet
+// column as one character.
+func FingerprintDistance(a, b fingerprint.F) float64 {
+	in := NewInterner()
+	return Normalized(in.Word(a), in.Word(b))
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,193 @@
+package editdist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iotsentinel/internal/features"
+	"iotsentinel/internal/fingerprint"
+)
+
+func word(s string) []int {
+	out := make([]int, len(s))
+	for i, c := range []byte(s) {
+		out[i] = int(c)
+	}
+	return out
+}
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want int
+	}{
+		{"both-empty", "", "", 0},
+		{"empty-a", "", "abc", 3},
+		{"empty-b", "abc", "", 3},
+		{"identical", "kitten", "kitten", 0},
+		{"substitutions", "kitten", "sitten", 1},
+		{"levenshtein-classic", "kitten", "sitting", 3},
+		{"transposition", "ca", "ac", 1},
+		{"transposition-middle", "abcd", "acbd", 1},
+		{"insert", "abc", "abxc", 1},
+		{"delete", "abxc", "abc", 1},
+		{"osa-ca-abc", "ca", "abc", 3}, // restricted DL, not full DL (2)
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Distance(word(tt.a), word(tt.b)); got != tt.want {
+				t.Errorf("Distance(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want float64
+	}{
+		{"both-empty", "", "", 0},
+		{"identical", "abcd", "abcd", 0},
+		{"disjoint", "aaaa", "bbbb", 1},
+		{"half", "ab", "ax", 0.5},
+		{"against-empty", "abcd", "", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Normalized(word(tt.a), word(tt.b)); got != tt.want {
+				t.Errorf("Normalized(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	clamp := func(s []uint8) []int {
+		if len(s) > 20 {
+			s = s[:20]
+		}
+		out := make([]int, len(s))
+		for i, c := range s {
+			out[i] = int(c % 4) // small alphabet encourages transpositions
+		}
+		return out
+	}
+	symmetry := func(a, b []uint8) bool {
+		x, y := clamp(a), clamp(b)
+		return Distance(x, y) == Distance(y, x)
+	}
+	if err := quick.Check(symmetry, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a []uint8) bool {
+		x := clamp(a)
+		return Distance(x, x) == 0
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	bounds := func(a, b []uint8) bool {
+		x, y := clamp(a), clamp(b)
+		d := Distance(x, y)
+		maxLen := len(x)
+		if len(y) > maxLen {
+			maxLen = len(y)
+		}
+		diff := len(x) - len(y)
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= maxLen
+	}
+	if err := quick.Check(bounds, nil); err != nil {
+		t.Errorf("bounds: %v", err)
+	}
+	normRange := func(a, b []uint8) bool {
+		n := Normalized(clamp(a), clamp(b))
+		return n >= 0 && n <= 1
+	}
+	if err := quick.Check(normRange, nil); err != nil {
+		t.Errorf("normalized range: %v", err)
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	var a, b features.Vector
+	a[features.FeatSize] = 60
+	b[features.FeatSize] = 90
+	w := in.Word(fingerprint.F{a, b, a})
+	if len(w) != 3 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if w[0] != w[2] || w[0] == w[1] {
+		t.Errorf("interning wrong: %v", w)
+	}
+	if in.Size() != 2 {
+		t.Errorf("Size = %d, want 2", in.Size())
+	}
+}
+
+func TestFingerprintDistance(t *testing.T) {
+	var a, b, c features.Vector
+	a[features.FeatSize] = 60
+	b[features.FeatSize] = 90
+	c[features.FeatSize] = 120
+	f1 := fingerprint.F{a, b, c}
+	f2 := fingerprint.F{a, b, c}
+	if d := FingerprintDistance(f1, f2); d != 0 {
+		t.Errorf("identical fingerprints: distance %v", d)
+	}
+	f3 := fingerprint.F{a, c, b} // one transposition of 3 characters
+	if d := FingerprintDistance(f1, f3); d != 1.0/3.0 {
+		t.Errorf("transposed fingerprints: distance %v, want 1/3", d)
+	}
+	if d := FingerprintDistance(f1, nil); d != 1 {
+		t.Errorf("distance to empty = %v, want 1", d)
+	}
+}
+
+func benchWord(n int, seed int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (i*7 + seed) % 9
+	}
+	return out
+}
+
+func BenchmarkDistance32(b *testing.B) {
+	a, c := benchWord(32, 1), benchWord(32, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(a, c)
+	}
+}
+
+func BenchmarkDistance128(b *testing.B) {
+	a, c := benchWord(128, 1), benchWord(128, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(a, c)
+	}
+}
+
+func BenchmarkFingerprintDistance(b *testing.B) {
+	mk := func(seed int) fingerprint.F {
+		var f fingerprint.F
+		for i := 0; i < 40; i++ {
+			var v features.Vector
+			v[features.FeatSize] = float64((i*13 + seed) % 11 * 60)
+			f = append(f, v)
+		}
+		return f
+	}
+	x, y := mk(1), mk(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FingerprintDistance(x, y)
+	}
+}

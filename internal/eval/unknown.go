@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/fingerprint"
+)
+
+// UnknownDetection quantifies the paper's new-device claim (Sect.
+// IV-B1: "a fingerprint can be rejected by all classifiers and thus be
+// identified as a new device-type") with a leave-one-type-out protocol:
+// for each device-type, train the identifier on the remaining types and
+// measure how the held-out type's fingerprints are handled.
+type UnknownDetection struct {
+	// RejectRate is the fraction of held-out fingerprints rejected by
+	// every classifier (correctly flagged as a new device-type).
+	RejectRate float64
+	// MisacceptInGroup is the fraction absorbed by a same-vendor
+	// sibling of the held-out type — harmless for vulnerability
+	// assessment, per the paper's argument.
+	MisacceptInGroup float64
+	// MisacceptOutGroup is the fraction absorbed by an unrelated type
+	// (the genuinely bad outcome).
+	MisacceptOutGroup float64
+	// PerType breaks the reject rate down by held-out type.
+	PerType map[core.TypeID]float64
+}
+
+// LeaveOneOutConfig controls the experiment.
+type LeaveOneOutConfig struct {
+	// Identifier configures the pipeline.
+	Identifier core.Config
+	// Siblings lists the same-vendor groups used to split misaccepts.
+	Siblings [][]string
+	// Seed drives training determinism.
+	Seed int64
+}
+
+// LeaveOneOut runs the unknown-device experiment over the dataset.
+func LeaveOneOut(ds map[core.TypeID][]fingerprint.Fingerprint, cfg LeaveOneOutConfig) (*UnknownDetection, error) {
+	if len(ds) < 3 {
+		return nil, fmt.Errorf("eval: leave-one-out needs at least 3 types, got %d", len(ds))
+	}
+	siblingsOf := make(map[core.TypeID]map[core.TypeID]bool)
+	for _, group := range cfg.Siblings {
+		for _, a := range group {
+			m := make(map[core.TypeID]bool, len(group))
+			for _, b := range group {
+				if a != b {
+					m[core.TypeID(b)] = true
+				}
+			}
+			siblingsOf[core.TypeID(a)] = m
+		}
+	}
+
+	types := sortedTypes(ds)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &UnknownDetection{PerType: make(map[core.TypeID]float64, len(types))}
+	var rejected, inGroup, outGroup, total int
+	for _, heldOut := range types {
+		train := make(map[core.TypeID][]fingerprint.Fingerprint, len(ds)-1)
+		for t, fps := range ds {
+			if t != heldOut {
+				train[t] = fps
+			}
+		}
+		idCfg := cfg.Identifier
+		idCfg.Seed = rng.Int63()
+		id, err := core.Train(train, idCfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: leave-one-out %q: %w", heldOut, err)
+		}
+		typeRejected := 0
+		for _, fp := range ds[heldOut] {
+			r := id.Identify(fp)
+			total++
+			switch {
+			case r.Type == core.Unknown:
+				rejected++
+				typeRejected++
+			case siblingsOf[heldOut][r.Type]:
+				inGroup++
+			default:
+				outGroup++
+			}
+		}
+		res.PerType[heldOut] = float64(typeRejected) / float64(len(ds[heldOut]))
+	}
+	if total > 0 {
+		res.RejectRate = float64(rejected) / float64(total)
+		res.MisacceptInGroup = float64(inGroup) / float64(total)
+		res.MisacceptOutGroup = float64(outGroup) / float64(total)
+	}
+	return res, nil
+}
+
+// Types returns the per-type keys sorted, for stable rendering.
+func (u *UnknownDetection) Types() []core.TypeID {
+	out := make([]core.TypeID, 0, len(u.PerType))
+	for t := range u.PerType {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ThresholdTradeoff is one point of the unknown-detection sweep: at a
+// given acceptance threshold, how well known types identify and how
+// reliably unknown types are rejected.
+type ThresholdTradeoff struct {
+	Threshold float64
+	// KnownAccuracy is cross-validated global accuracy on known types.
+	KnownAccuracy float64
+	// UnknownReject is the leave-one-type-out outright-reject rate.
+	UnknownReject float64
+}
+
+// UnknownSweep evaluates the known-accuracy vs unknown-rejection trade
+// across acceptance thresholds — the operating curve an IoTSSP operator
+// would tune.
+func UnknownSweep(ds map[core.TypeID][]fingerprint.Fingerprint, thresholds []float64,
+	siblings [][]string, folds int, seed int64) ([]ThresholdTradeoff, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.3, 0.4, 0.5, 0.6, 0.7}
+	}
+	out := make([]ThresholdTradeoff, 0, len(thresholds))
+	for _, thr := range thresholds {
+		cfg := core.Config{AcceptThreshold: thr}
+		cv, err := CrossValidate(ds, CVConfig{
+			Folds: folds, Repeats: 1, Seed: seed, Identifier: cfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: sweep threshold %.2f: %w", thr, err)
+		}
+		det, err := LeaveOneOut(ds, LeaveOneOutConfig{
+			Identifier: cfg, Siblings: siblings, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: sweep threshold %.2f: %w", thr, err)
+		}
+		out = append(out, ThresholdTradeoff{
+			Threshold:     thr,
+			KnownAccuracy: cv.Confusion.Global(),
+			UnknownReject: det.RejectRate,
+		})
+	}
+	return out, nil
+}

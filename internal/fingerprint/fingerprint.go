@@ -1,0 +1,184 @@
+// Package fingerprint builds the two device fingerprints of Sect. IV-A:
+//
+//   - F: the variable-length sequence of 23-feature packet vectors for
+//     the setup-phase packets of one device, with consecutive identical
+//     vectors discarded.
+//   - F′ ("FPrime"): a fixed 276-dimensional vector formed by
+//     concatenating the first 12 *unique* packet vectors of F,
+//     zero-padded when fewer than 12 unique vectors exist.
+//
+// It also implements the setup-phase end detection the paper describes:
+// the setup phase ends when the packet rate drops below a fraction of
+// its peak.
+package fingerprint
+
+import (
+	"time"
+
+	"iotsentinel/internal/features"
+	"iotsentinel/internal/packet"
+)
+
+// UniquePackets is the number of unique packet vectors concatenated into
+// the fixed-size fingerprint F′ (Sect. IV-A: "12 packets was a good
+// trade-off").
+const UniquePackets = 12
+
+// FPrimeLen is the dimensionality of F′: 12 packets × 23 features.
+const FPrimeLen = UniquePackets * features.Count
+
+// F is the variable-length fingerprint: an ordered sequence of packet
+// feature vectors with consecutive duplicates removed. Each element is
+// one "character" for the edit-distance discrimination step.
+type F []features.Vector
+
+// FPrime is the fixed-size fingerprint used for classification.
+type FPrime [FPrimeLen]float64
+
+// Fingerprint bundles both representations for one device observation.
+type Fingerprint struct {
+	F      F
+	FPrime FPrime
+	// UniqueCount is the number of unique packet vectors that filled
+	// F′ before padding (min(unique(F), 12)).
+	UniqueCount int
+}
+
+// FromVectors builds a Fingerprint from an ordered packet-vector
+// sequence (one device's setup traffic).
+func FromVectors(vs []features.Vector) Fingerprint {
+	f := dedupeConsecutive(vs)
+	fp, n := fprimeOf(f, UniquePackets)
+	var fixed FPrime
+	copy(fixed[:], fp)
+	return Fingerprint{F: f, FPrime: fixed, UniqueCount: n}
+}
+
+// FromPackets extracts features (with fresh destination-IP counter
+// state) and builds the Fingerprint.
+func FromPackets(pkts []*packet.Packet) Fingerprint {
+	return FromVectors(features.ExtractAll(pkts))
+}
+
+// TruncatedFPrime builds a variable-length analogue of F′ using the
+// first n unique vectors instead of 12. It exists for the fingerprint-
+// length ablation study; n must be positive.
+func TruncatedFPrime(f F, n int) []float64 {
+	fp, _ := fprimeOf(f, n)
+	return fp
+}
+
+// dedupeConsecutive drops packets identical (in feature space) to their
+// immediate predecessor, per Eq. (1)'s side condition.
+func dedupeConsecutive(vs []features.Vector) F {
+	var out F
+	for i, v := range vs {
+		if i > 0 && v.Equal(vs[i-1]) {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// fprimeOf concatenates the first n globally unique vectors of f into a
+// flat feature slice of length n*features.Count, zero padding the tail.
+// It returns the padded slice and the number of unique vectors used.
+func fprimeOf(f F, n int) ([]float64, int) {
+	out := make([]float64, n*features.Count)
+	used := 0
+	for _, v := range f {
+		if used == n {
+			break
+		}
+		if containsVector(f, v, used, out) {
+			continue
+		}
+		copy(out[used*features.Count:], v[:])
+		used++
+	}
+	return out, used
+}
+
+// containsVector reports whether v already occupies one of the first
+// `used` slots of the flat output.
+func containsVector(_ F, v features.Vector, used int, out []float64) bool {
+	for i := 0; i < used; i++ {
+		match := true
+		for j := 0; j < features.Count; j++ {
+			if out[i*features.Count+j] != v[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// SetupCapture accumulates timestamped packets for one device and
+// detects the end of its setup phase by a decrease in packet rate: once
+// the device has been quiet for IdleGap (no packet), or MaxPackets have
+// been collected, the capture is complete.
+type SetupCapture struct {
+	// IdleGap is the silence duration that ends the setup phase.
+	IdleGap time.Duration
+	// MaxPackets caps the capture length.
+	MaxPackets int
+
+	vecs     []features.Vector
+	ext      *features.Extractor
+	lastSeen time.Time
+	done     bool
+}
+
+// NewSetupCapture returns a capture with the given idle gap and packet
+// cap; non-positive arguments select the defaults (10 s, 300 packets).
+func NewSetupCapture(idleGap time.Duration, maxPackets int) *SetupCapture {
+	if idleGap <= 0 {
+		idleGap = 10 * time.Second
+	}
+	if maxPackets <= 0 {
+		maxPackets = 300
+	}
+	return &SetupCapture{
+		IdleGap:    idleGap,
+		MaxPackets: maxPackets,
+		ext:        features.NewExtractor(),
+	}
+}
+
+// Observe records one packet at time ts. It returns true once the setup
+// phase is considered complete (rate decrease detected or cap reached);
+// packets observed after completion are ignored.
+func (c *SetupCapture) Observe(ts time.Time, p *packet.Packet) bool {
+	if c.done {
+		return true
+	}
+	if len(c.vecs) > 0 && ts.Sub(c.lastSeen) >= c.IdleGap {
+		// The device went quiet: the setup phase ended at the previous
+		// packet; this one belongs to steady-state operation.
+		c.done = true
+		return true
+	}
+	c.vecs = append(c.vecs, c.ext.Extract(p))
+	c.lastSeen = ts
+	if len(c.vecs) >= c.MaxPackets {
+		c.done = true
+	}
+	return c.done
+}
+
+// Done reports whether the setup phase has been detected as complete.
+func (c *SetupCapture) Done() bool { return c.done }
+
+// Len returns the number of packets captured so far.
+func (c *SetupCapture) Len() int { return len(c.vecs) }
+
+// Fingerprint finalizes the capture and returns the fingerprint built
+// from the packets observed so far.
+func (c *SetupCapture) Fingerprint() Fingerprint {
+	return FromVectors(c.vecs)
+}

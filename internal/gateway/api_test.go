@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/devices"
+)
+
+// apiFixture onboards one EdnetCam and returns the server plus the
+// device MAC string.
+func apiFixture(t *testing.T) (*httptest.Server, string, *Gateway) {
+	t.Helper()
+	g := newGateway(t, Config{IdleGap: 5 * time.Second})
+	p, err := devices.ProfileByID("EdnetCam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := devices.GenerateCaptures(p, 1, 61)[0]
+	playCapture(t, g, cap)
+	if err := g.FinishSetup(cap.MAC, cap.Times[len(cap.Times)-1]); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.APIHandler(func() time.Time {
+		return cap.Times[len(cap.Times)-1].Add(time.Minute)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, cap.MAC.String(), g
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, into any) int {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+func TestAPIListDevices(t *testing.T) {
+	srv, mac, _ := apiFixture(t)
+	var out struct {
+		Devices []deviceJSON `json:"devices"`
+	}
+	if code := getJSON(t, srv, "/v1/devices", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Devices) != 1 {
+		t.Fatalf("devices = %d", len(out.Devices))
+	}
+	d := out.Devices[0]
+	if d.MAC != mac || d.Type != "EdnetCam" || d.Level != "restricted" || d.State != "assessed" {
+		t.Errorf("device = %+v", d)
+	}
+	if len(d.Vulnerabilities) == 0 {
+		t.Error("vulnerabilities missing")
+	}
+}
+
+func TestAPIGetDevice(t *testing.T) {
+	srv, mac, _ := apiFixture(t)
+	var d deviceJSON
+	if code := getJSON(t, srv, "/v1/devices/"+mac, &d); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if d.Type != "EdnetCam" {
+		t.Errorf("device = %+v", d)
+	}
+	if code := getJSON(t, srv, "/v1/devices/02:00:00:00:00:42", &d); code != http.StatusNotFound {
+		t.Errorf("unknown mac status = %d", code)
+	}
+	if code := getJSON(t, srv, "/v1/devices/nope", &d); code != http.StatusBadRequest {
+		t.Errorf("bad mac status = %d", code)
+	}
+}
+
+func TestAPIDeleteDevice(t *testing.T) {
+	srv, mac, g := apiFixture(t)
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/devices/"+mac, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(g.Devices()) != 0 {
+		t.Error("device not removed")
+	}
+	// Deleting again: 404.
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("second delete status = %d", resp.StatusCode)
+	}
+}
+
+func TestAPIFinishSetup(t *testing.T) {
+	g := newGateway(t, Config{IdleGap: time.Hour})
+	p, err := devices.ProfileByID("HueBridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := devices.GenerateCaptures(p, 1, 62)[0]
+	playCapture(t, g, cap)
+	srv := httptest.NewServer(g.APIHandler(nil))
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/devices/"+cap.MAC.String()+"/finish", "", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var d deviceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.State != "assessed" || d.Type != "HueBridge" {
+		t.Errorf("device = %+v", d)
+	}
+	// Finishing a device that is not monitored: 409.
+	resp2, err := srv.Client().Post(srv.URL+"/v1/devices/"+cap.MAC.String()+"/finish", "", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("second finish status = %d", resp2.StatusCode)
+	}
+}
+
+func TestAPIRulesAndStats(t *testing.T) {
+	srv, mac, _ := apiFixture(t)
+	var rules struct {
+		Rules []ruleJSON `json:"rules"`
+	}
+	if code := getJSON(t, srv, "/v1/rules", &rules); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(rules.Rules) != 1 || rules.Rules[0].MAC != mac || rules.Rules[0].Level != "restricted" {
+		t.Errorf("rules = %+v", rules.Rules)
+	}
+	if len(rules.Rules[0].PermittedIPs) != 1 {
+		t.Errorf("permitted = %v", rules.Rules[0].PermittedIPs)
+	}
+	var stats map[string]any
+	if code := getJSON(t, srv, "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, key := range []string{"forwarded", "dropped", "flows", "ruleCacheHits"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("stats missing %q", key)
+		}
+	}
+}
+
+func TestAPITraffic(t *testing.T) {
+	srv, mac, _ := apiFixture(t)
+	var out struct {
+		Devices []struct {
+			MAC     string `json:"mac"`
+			Packets uint64 `json:"packets"`
+		} `json:"devices"`
+	}
+	if code := getJSON(t, srv, "/v1/traffic", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	// The onboarded camera's post-assessment packets are monitored;
+	// packets during setup monitoring bypass the switch, so the device
+	// may or may not appear depending on traffic since assessment.
+	for _, d := range out.Devices {
+		if d.MAC == mac && d.Packets == 0 {
+			t.Errorf("device %s tracked with zero packets", mac)
+		}
+	}
+}

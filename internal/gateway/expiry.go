@@ -1,0 +1,52 @@
+package gateway
+
+import (
+	"time"
+)
+
+// ExpiryWorker periodically sweeps the switch's flow table, evicting
+// idle flows — the housekeeping a Floodlight deployment gets from
+// OpenFlow idle timeouts. It follows the managed-goroutine pattern:
+// construction starts the worker, Shutdown stops it and waits.
+type ExpiryWorker struct {
+	stop chan struct{}
+	done chan struct{}
+	// Expired counts total evictions, readable after Shutdown.
+	expired int
+}
+
+// NewExpiryWorker starts a sweeper over the gateway's flow table with
+// the given period (non-positive selects 5 s).
+func NewExpiryWorker(g *Gateway, period time.Duration) *ExpiryWorker {
+	if period <= 0 {
+		period = 5 * time.Second
+	}
+	w := &ExpiryWorker{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go w.run(g, period)
+	return w
+}
+
+func (w *ExpiryWorker) run(g *Gateway, period time.Duration) {
+	defer close(w.done)
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case now := <-ticker.C:
+			w.expired += g.Switch().Table().Expire(now)
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Shutdown stops the worker and waits for it to exit. It is safe to
+// call at most once.
+func (w *ExpiryWorker) Shutdown() int {
+	close(w.stop)
+	<-w.done
+	return w.expired
+}

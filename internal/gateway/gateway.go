@@ -1,0 +1,268 @@
+// Package gateway implements the Security Gateway of Sect. III-A: the
+// SDN-based home router that monitors new devices during their setup
+// phase, fingerprints their traffic, asks the IoT Security Service for
+// a device-type identification and isolation level, and enforces the
+// returned level through the sdn switch.
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/vulndb"
+	"iotsentinel/internal/wps"
+)
+
+// DeviceState tracks a device through its lifecycle.
+type DeviceState int
+
+// Device states.
+const (
+	// StateMonitoring: the device is in its setup phase and its
+	// packets are being captured for fingerprinting.
+	StateMonitoring DeviceState = iota + 1
+	// StateAssessed: the IoTSSP returned an assessment and an
+	// enforcement rule is installed.
+	StateAssessed
+)
+
+// String returns the lowercase state name.
+func (s DeviceState) String() string {
+	if s == StateAssessed {
+		return "assessed"
+	}
+	return "monitoring"
+}
+
+// DeviceInfo is the gateway's view of one device.
+type DeviceInfo struct {
+	MAC             packet.MAC
+	State           DeviceState
+	Type            core.TypeID
+	Level           sdn.IsolationLevel
+	FirstSeen       time.Time
+	AssessedAt      time.Time
+	SetupPackets    int
+	Vulnerabilities []vulndb.Record
+}
+
+// Notification is the user-facing alert of Sect. III-C3, raised when a
+// device has vulnerabilities that isolation cannot mitigate.
+type Notification struct {
+	MAC     packet.MAC
+	Type    core.TypeID
+	Message string
+}
+
+// Config tunes the gateway.
+type Config struct {
+	// IdleGap ends a device's setup phase after this much silence
+	// (default 10 s).
+	IdleGap time.Duration
+	// MaxSetupPackets caps the capture (default 300).
+	MaxSetupPackets int
+	// OnAssessed, if set, is called after each device assessment.
+	OnAssessed func(DeviceInfo)
+	// OnNotify, if set, receives user notifications for devices whose
+	// critical vulnerabilities have no firmware fix.
+	OnNotify func(Notification)
+	// Keystore, if set, enables WPS credential management: every new
+	// device is enrolled with a device-specific WPA2 PSK on first
+	// sight (Sect. III-A), and legacy migration re-keys WPS-capable
+	// devices (Sect. VIII-A).
+	Keystore *wps.Keystore
+}
+
+// Gateway is the Security Gateway.
+type Gateway struct {
+	mu       sync.Mutex
+	cfg      Config
+	assessor iotssp.Assessor
+	sw       *sdn.Switch
+	monitor  *sdn.TrafficMonitor
+	captures map[packet.MAC]*fingerprint.SetupCapture
+	devices  map[packet.MAC]*DeviceInfo
+}
+
+// New wires a gateway to its switch and the security service, and
+// attaches the controller's traffic-monitoring module to the switch.
+func New(assessor iotssp.Assessor, sw *sdn.Switch, cfg Config) *Gateway {
+	mon := sdn.NewTrafficMonitor()
+	sw.SetMonitor(mon)
+	return &Gateway{
+		cfg:      cfg,
+		assessor: assessor,
+		sw:       sw,
+		monitor:  mon,
+		captures: make(map[packet.MAC]*fingerprint.SetupCapture),
+		devices:  make(map[packet.MAC]*DeviceInfo),
+	}
+}
+
+// Traffic exposes the per-device traffic monitor.
+func (g *Gateway) Traffic() *sdn.TrafficMonitor { return g.monitor }
+
+// Switch exposes the enforcement switch.
+func (g *Gateway) Switch() *sdn.Switch { return g.sw }
+
+// HandlePacket is the gateway's data path: every frame from the local
+// network passes through it. New MACs enter the monitoring state; when
+// their setup phase completes, the fingerprint goes to the IoTSSP and
+// the returned isolation level is enforced. Devices still in their
+// setup phase are forwarded without enforcement — identification
+// happens during the natural induction procedure, and their flows are
+// invalidated the moment the assessment lands.
+func (g *Gateway) HandlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, error) {
+	g.mu.Lock()
+	info, known := g.devices[pk.SrcMAC]
+	if !known && !pk.SrcMAC.IsMulticast() {
+		info = &DeviceInfo{MAC: pk.SrcMAC, State: StateMonitoring, FirstSeen: ts}
+		g.devices[pk.SrcMAC] = info
+		g.captures[pk.SrcMAC] = fingerprint.NewSetupCapture(g.cfg.IdleGap, g.cfg.MaxSetupPackets)
+		if g.cfg.Keystore != nil {
+			// The device joined via WPS: issue its device-specific
+			// WPA2 PSK (Sect. III-A).
+			if _, err := g.cfg.Keystore.Enroll(pk.SrcMAC); err != nil {
+				g.mu.Unlock()
+				return sdn.ActionDrop, fmt.Errorf("gateway: enroll %v: %w", pk.SrcMAC, err)
+			}
+		}
+	}
+	var finished *fingerprint.SetupCapture
+	if info != nil && info.State == StateMonitoring {
+		cap := g.captures[pk.SrcMAC]
+		if done := cap.Observe(ts, pk); done {
+			finished = cap
+			delete(g.captures, pk.SrcMAC)
+		}
+		info.SetupPackets = cap.Len()
+	}
+	g.mu.Unlock()
+
+	if finished != nil {
+		if err := g.assess(pk.SrcMAC, finished.Fingerprint(), ts); err != nil {
+			return sdn.ActionDrop, fmt.Errorf("gateway: assess %v: %w", pk.SrcMAC, err)
+		}
+	}
+
+	g.mu.Lock()
+	monitoring := info != nil && info.State == StateMonitoring
+	g.mu.Unlock()
+	if monitoring {
+		// Setup-phase traffic flows freely so the induction procedure
+		// (and the fingerprint) completes.
+		return sdn.ActionForward, nil
+	}
+	return g.sw.Process(pk, ts), nil
+}
+
+// FinishSetup force-completes the setup phase of a monitored device
+// (e.g. when the operator confirms induction ended) and assesses it.
+func (g *Gateway) FinishSetup(mac packet.MAC, now time.Time) error {
+	g.mu.Lock()
+	cap, ok := g.captures[mac]
+	if ok {
+		delete(g.captures, mac)
+	}
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("gateway: device %v is not being monitored", mac)
+	}
+	return g.assess(mac, cap.Fingerprint(), now)
+}
+
+// assess queries the IoTSSP and installs the enforcement rule.
+func (g *Gateway) assess(mac packet.MAC, fp fingerprint.Fingerprint, now time.Time) error {
+	a, err := g.assessor.Assess(fp)
+	if err != nil {
+		return err
+	}
+	rule := &sdn.EnforcementRule{
+		DeviceMAC:    mac,
+		Level:        a.Level,
+		PermittedIPs: a.PermittedIPs,
+		DeviceType:   string(a.Type),
+	}
+	g.sw.Controller().Rules().Put(rule)
+	g.sw.InvalidateDevice(mac)
+
+	g.mu.Lock()
+	info := g.devices[mac]
+	if info == nil {
+		info = &DeviceInfo{MAC: mac, FirstSeen: now}
+		g.devices[mac] = info
+	}
+	info.State = StateAssessed
+	info.Type = a.Type
+	info.Level = a.Level
+	info.AssessedAt = now
+	info.Vulnerabilities = a.Vulnerabilities
+	snapshot := *info
+	g.mu.Unlock()
+
+	if g.cfg.OnAssessed != nil {
+		g.cfg.OnAssessed(snapshot)
+	}
+	if g.cfg.OnNotify != nil {
+		for _, v := range a.Vulnerabilities {
+			if v.Severity >= vulndb.SeverityCritical && !v.FixedInUpdate {
+				g.cfg.OnNotify(Notification{
+					MAC:  mac,
+					Type: a.Type,
+					Message: fmt.Sprintf(
+						"device %v (%s) has an unfixable %s vulnerability (%s); remove it from the network",
+						mac, a.Type, v.Severity, v.ID),
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveDevice forgets a device that left the network: its enforcement
+// rule and installed flows are evicted (the rule-cache pruning the
+// paper describes for departed devices).
+func (g *Gateway) RemoveDevice(mac packet.MAC) {
+	g.mu.Lock()
+	delete(g.devices, mac)
+	delete(g.captures, mac)
+	g.mu.Unlock()
+	g.sw.Controller().Rules().Remove(mac)
+	g.sw.InvalidateDevice(mac)
+	g.monitor.Forget(mac)
+	if g.cfg.Keystore != nil {
+		g.cfg.Keystore.Revoke(mac)
+	}
+}
+
+// Device returns the gateway's view of one device.
+func (g *Gateway) Device(mac packet.MAC) (DeviceInfo, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	info, ok := g.devices[mac]
+	if !ok {
+		return DeviceInfo{}, false
+	}
+	return *info, true
+}
+
+// Devices returns all known devices sorted by MAC.
+func (g *Gateway) Devices() []DeviceInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]DeviceInfo, 0, len(g.devices))
+	for _, info := range g.devices {
+		out = append(out, *info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].MAC.String() < out[j].MAC.String()
+	})
+	return out
+}

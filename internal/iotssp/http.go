@@ -1,0 +1,186 @@
+package iotssp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/features"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/vulndb"
+)
+
+// Wire types for the HTTP JSON API. Fingerprints travel as their raw
+// feature matrices; the service reconstructs F′ locally so clients
+// cannot desynchronize the two representations.
+
+type assessRequest struct {
+	// F is the variable-length fingerprint matrix, one row per packet.
+	F [][]float64 `json:"f"`
+}
+
+type assessResponse struct {
+	Type            string     `json:"type"`
+	Known           bool       `json:"known"`
+	Level           string     `json:"level"`
+	PermittedIPs    []string   `json:"permittedIps,omitempty"`
+	Vulnerabilities []vulnJSON `json:"vulnerabilities,omitempty"`
+}
+
+type vulnJSON struct {
+	ID       string `json:"id"`
+	Severity string `json:"severity"`
+	Summary  string `json:"summary"`
+}
+
+// Handler serves the service API:
+//
+//	POST /v1/assess  — assess one fingerprint
+//	GET  /v1/types   — list known device-types
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/assess", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		var req assessRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		fp, err := fingerprintFromRows(req.F)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		a, err := s.Assess(fp)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, toWire(a))
+	})
+	mux.HandleFunc("/v1/types", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		types := s.Types()
+		names := make([]string, len(types))
+		for i, t := range types {
+			names[i] = string(t)
+		}
+		writeJSON(w, map[string][]string{"types": names})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func toWire(a Assessment) assessResponse {
+	resp := assessResponse{
+		Type:  string(a.Type),
+		Known: a.Known,
+		Level: a.Level.String(),
+	}
+	for _, ip := range a.PermittedIPs {
+		resp.PermittedIPs = append(resp.PermittedIPs, ip.String())
+	}
+	for _, v := range a.Vulnerabilities {
+		resp.Vulnerabilities = append(resp.Vulnerabilities, vulnJSON{
+			ID: v.ID, Severity: v.Severity.String(), Summary: v.Summary,
+		})
+	}
+	return resp
+}
+
+func fingerprintFromRows(rows [][]float64) (fingerprint.Fingerprint, error) {
+	vs := make([]features.Vector, len(rows))
+	for i, row := range rows {
+		if len(row) != features.Count {
+			return fingerprint.Fingerprint{}, fmt.Errorf(
+				"row %d has %d features, want %d", i, len(row), features.Count)
+		}
+		copy(vs[i][:], row)
+	}
+	return fingerprint.FromVectors(vs), nil
+}
+
+// Client is the gateway-side HTTP client for a remote service.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://ssp.example.com".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+var _ Assessor = (*Client)(nil)
+
+// Assess posts the fingerprint to the remote service.
+func (c *Client) Assess(fp fingerprint.Fingerprint) (Assessment, error) {
+	rows := make([][]float64, len(fp.F))
+	for i, v := range fp.F {
+		rows[i] = append([]float64(nil), v[:]...)
+	}
+	payload, err := json.Marshal(assessRequest{F: rows})
+	if err != nil {
+		return Assessment{}, fmt.Errorf("iotssp client: marshal: %w", err)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Post(c.BaseURL+"/v1/assess", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return Assessment{}, fmt.Errorf("iotssp client: post: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return Assessment{}, fmt.Errorf("iotssp client: status %d: %s", resp.StatusCode, msg)
+	}
+	var wire assessResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return Assessment{}, fmt.Errorf("iotssp client: decode: %w", err)
+	}
+	return fromWire(wire)
+}
+
+func fromWire(w assessResponse) (Assessment, error) {
+	a := Assessment{Type: core.TypeID(w.Type), Known: w.Known}
+	switch w.Level {
+	case "strict":
+		a.Level = sdn.Strict
+	case "restricted":
+		a.Level = sdn.Restricted
+	case "trusted":
+		a.Level = sdn.Trusted
+	default:
+		return Assessment{}, fmt.Errorf("iotssp client: unknown level %q", w.Level)
+	}
+	for _, s := range w.PermittedIPs {
+		ip, err := netip.ParseAddr(s)
+		if err != nil {
+			return Assessment{}, fmt.Errorf("iotssp client: bad permitted ip %q: %w", s, err)
+		}
+		a.PermittedIPs = append(a.PermittedIPs, ip)
+	}
+	for _, v := range w.Vulnerabilities {
+		a.Vulnerabilities = append(a.Vulnerabilities, vulndb.Record{ID: v.ID, Summary: v.Summary})
+	}
+	return a, nil
+}

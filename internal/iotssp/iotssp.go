@@ -1,0 +1,109 @@
+// Package iotssp implements the IoT Security Service of Sect. III-B:
+// the cloud-side component that classifies device fingerprints sent by
+// Security Gateways, assesses the identified type against a
+// vulnerability database, and returns the isolation level the gateway
+// must enforce. Per the paper, the service is stateless with respect to
+// its clients: it receives a fingerprint and returns an assessment, and
+// stores nothing about the requesting gateway (which may reach it
+// through an anonymization network).
+package iotssp
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/vulndb"
+)
+
+// Assessment is the service's answer for one fingerprint.
+type Assessment struct {
+	// Type is the identified device-type (core.Unknown if none).
+	Type core.TypeID
+	// Known reports whether any classifier accepted the fingerprint.
+	Known bool
+	// Level is the isolation level the gateway must enforce:
+	// vulnerable → restricted, clean → trusted, unknown → strict.
+	Level sdn.IsolationLevel
+	// PermittedIPs lists the remote endpoints a Restricted device may
+	// reach (its vendor cloud service).
+	PermittedIPs []netip.Addr
+	// Vulnerabilities lists the records that justified the level.
+	Vulnerabilities []vulndb.Record
+}
+
+// Assessor is the capability the Security Gateway depends on; the
+// in-process Service and the HTTP client both implement it.
+type Assessor interface {
+	Assess(fp fingerprint.Fingerprint) (Assessment, error)
+}
+
+// Service is the in-process IoT Security Service.
+type Service struct {
+	mu        sync.RWMutex
+	id        *core.Identifier
+	db        *vulndb.DB
+	endpoints map[core.TypeID][]netip.Addr
+}
+
+var _ Assessor = (*Service)(nil)
+
+// New assembles a service from a trained identifier and a vulnerability
+// database.
+func New(id *core.Identifier, db *vulndb.DB) *Service {
+	return &Service{
+		id:        id,
+		db:        db,
+		endpoints: make(map[core.TypeID][]netip.Addr),
+	}
+}
+
+// SetEndpoints registers the permitted cloud endpoints for a
+// device-type, returned with Restricted assessments.
+func (s *Service) SetEndpoints(t core.TypeID, ips []netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.endpoints[t] = append([]netip.Addr(nil), ips...)
+}
+
+// AddType forwards to the identifier, letting the service learn new
+// device-types without retraining existing classifiers.
+func (s *Service) AddType(t core.TypeID, fps []fingerprint.Fingerprint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.id.AddType(t, fps)
+}
+
+// Types returns the known device-types.
+func (s *Service) Types() []core.TypeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.id.Types()
+}
+
+// Assess classifies the fingerprint and derives the isolation level.
+func (s *Service) Assess(fp fingerprint.Fingerprint) (Assessment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	res := s.id.Identify(fp)
+	if res.Type == core.Unknown {
+		// Unknown devices get strict isolation (Sect. III-B).
+		return Assessment{Type: core.Unknown, Level: sdn.Strict}, nil
+	}
+	a := Assessment{Type: res.Type, Known: true}
+	a.Vulnerabilities = s.db.Query(string(res.Type))
+	if len(a.Vulnerabilities) > 0 {
+		a.Level = sdn.Restricted
+		a.PermittedIPs = append([]netip.Addr(nil), s.endpoints[res.Type]...)
+		sort.Slice(a.PermittedIPs, func(i, j int) bool {
+			return a.PermittedIPs[i].Less(a.PermittedIPs[j])
+		})
+	} else {
+		a.Level = sdn.Trusted
+	}
+	return a, nil
+}

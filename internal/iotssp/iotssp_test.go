@@ -1,0 +1,207 @@
+package iotssp
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/vulndb"
+)
+
+// testService trains a small identifier over a handful of catalog
+// device-types and wires the default vulnerability DB.
+func testService(t *testing.T) (*Service, devices.Dataset) {
+	t.Helper()
+	types := []string{"Aria", "HueBridge", "EdnetCam", "iKettle2", "WeMoSwitch"}
+	ds := make(devices.Dataset)
+	full := devices.GenerateDataset(12, 9)
+	for _, id := range types {
+		ds[id] = full[id]
+	}
+	samples := make(map[core.TypeID][]fingerprint.Fingerprint, len(ds))
+	for k, v := range ds {
+		samples[core.TypeID(k)] = v
+	}
+	id, err := core.Train(samples, core.Config{Seed: 4})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	svc := New(id, vulndb.NewDefault())
+	svc.SetEndpoints("EdnetCam", []netip.Addr{netip.MustParseAddr("52.20.9.9")})
+	svc.SetEndpoints("iKettle2", []netip.Addr{netip.MustParseAddr("52.21.8.8")})
+	return svc, ds
+}
+
+func probeFor(t *testing.T, typ string, seed int64) fingerprint.Fingerprint {
+	t.Helper()
+	p, err := devices.ProfileByID(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := devices.GenerateCaptures(p, 1, seed)
+	return fingerprint.FromPackets(caps[0].Packets)
+}
+
+func TestAssessCleanDeviceTrusted(t *testing.T) {
+	svc, _ := testService(t)
+	a, err := svc.Assess(probeFor(t, "HueBridge", 100))
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	if a.Type != "HueBridge" || !a.Known {
+		t.Fatalf("assessment = %+v", a)
+	}
+	if a.Level != sdn.Trusted {
+		t.Errorf("Level = %v, want trusted (no vulnerabilities on file)", a.Level)
+	}
+	if len(a.Vulnerabilities) != 0 {
+		t.Errorf("unexpected vulnerabilities: %v", a.Vulnerabilities)
+	}
+}
+
+func TestAssessVulnerableDeviceRestricted(t *testing.T) {
+	svc, _ := testService(t)
+	a, err := svc.Assess(probeFor(t, "EdnetCam", 101))
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	if a.Type != "EdnetCam" {
+		t.Fatalf("identified as %q", a.Type)
+	}
+	if a.Level != sdn.Restricted {
+		t.Errorf("Level = %v, want restricted", a.Level)
+	}
+	if len(a.Vulnerabilities) == 0 {
+		t.Error("vulnerable device returned no records")
+	}
+	if len(a.PermittedIPs) != 1 {
+		t.Errorf("PermittedIPs = %v", a.PermittedIPs)
+	}
+}
+
+func TestAssessUnknownDeviceStrict(t *testing.T) {
+	svc, _ := testService(t)
+	// A type the service was never trained on.
+	a, err := svc.Assess(probeFor(t, "MAXGateway", 102))
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	if a.Known {
+		t.Fatalf("untrained type identified as %q", a.Type)
+	}
+	if a.Level != sdn.Strict {
+		t.Errorf("Level = %v, want strict for unknown devices", a.Level)
+	}
+}
+
+func TestAddType(t *testing.T) {
+	svc, _ := testService(t)
+	full := devices.GenerateDataset(12, 33)
+	if err := svc.AddType("MAXGateway", full["MAXGateway"]); err != nil {
+		t.Fatalf("AddType: %v", err)
+	}
+	a, err := svc.Assess(probeFor(t, "MAXGateway", 103))
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	if a.Type != "MAXGateway" {
+		t.Errorf("after AddType identified as %q", a.Type)
+	}
+	if len(svc.Types()) != 6 {
+		t.Errorf("Types = %v", svc.Types())
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	svc, _ := testService(t)
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+
+	client := &Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+	a, err := client.Assess(probeFor(t, "EdnetCam", 104))
+	if err != nil {
+		t.Fatalf("client.Assess: %v", err)
+	}
+	if a.Type != "EdnetCam" || a.Level != sdn.Restricted {
+		t.Errorf("assessment = %+v", a)
+	}
+	if len(a.PermittedIPs) != 1 || a.PermittedIPs[0] != netip.MustParseAddr("52.20.9.9") {
+		t.Errorf("PermittedIPs = %v", a.PermittedIPs)
+	}
+	if len(a.Vulnerabilities) == 0 {
+		t.Error("vulnerabilities lost over the wire")
+	}
+}
+
+func TestHTTPTypesEndpoint(t *testing.T) {
+	svc, _ := testService(t)
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/types")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"Aria", "HueBridge", "iKettle2"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("types response missing %q: %s", want, body)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc, _ := testService(t)
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+
+	// Wrong method.
+	resp, err := srv.Client().Get(srv.URL + "/v1/assess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/assess status = %d", resp.StatusCode)
+	}
+
+	// Malformed JSON.
+	resp, err = srv.Client().Post(srv.URL+"/v1/assess", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json status = %d", resp.StatusCode)
+	}
+
+	// Wrong feature width.
+	resp, err = srv.Client().Post(srv.URL+"/v1/assess", "application/json",
+		strings.NewReader(`{"f":[[1,2,3]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad width status = %d", resp.StatusCode)
+	}
+
+	// Client against a dead server errors cleanly.
+	dead := &Client{BaseURL: "http://127.0.0.1:1"}
+	if _, err := dead.Assess(fingerprint.Fingerprint{}); err == nil {
+		t.Error("dead server should error")
+	}
+}

@@ -1,0 +1,144 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config controls Random Forest training. The zero value selects the
+// defaults via normalize.
+type Config struct {
+	// Trees is the number of trees in the ensemble (default 25).
+	Trees int
+	// MaxDepth bounds tree depth (default 24).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MaxFeatures is the number of features considered per split
+	// (default round(sqrt(feature count))).
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c Config) normalize(nFeatures int) Config {
+	if c.Trees <= 0 {
+		c.Trees = 25
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 24
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.MaxFeatures <= 0 || c.MaxFeatures > nFeatures {
+		c.MaxFeatures = int(math.Round(math.Sqrt(float64(nFeatures))))
+		if c.MaxFeatures < 1 {
+			c.MaxFeatures = 1
+		}
+	}
+	return c
+}
+
+// Forest is a trained Random Forest classifier.
+type Forest struct {
+	trees    []*Tree
+	nClasses int
+}
+
+// Train fits a Random Forest on x (samples × features) with integer
+// class labels y in [0, nClasses).
+func Train(x [][]float64, y []int, cfg Config) (*Forest, error) {
+	nClasses, err := validate(x, y)
+	if err != nil {
+		return nil, err
+	}
+	if nClasses < 2 {
+		return nil, fmt.Errorf("rf: need at least 2 classes, got %d", nClasses)
+	}
+	cfg = cfg.normalize(len(x[0]))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := treeParams{
+		maxDepth:    cfg.MaxDepth,
+		minLeaf:     cfg.MinLeaf,
+		maxFeatures: cfg.MaxFeatures,
+		nClasses:    nClasses,
+	}
+	f := &Forest{trees: make([]*Tree, cfg.Trees), nClasses: nClasses}
+	n := len(x)
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample with replacement.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees[t] = &Tree{root: growTree(x, y, idx, p, rng), nClasses: nClasses}
+	}
+	return f, nil
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// NumClasses returns the number of classes the forest was trained on.
+func (f *Forest) NumClasses() int { return f.nClasses }
+
+// Predict returns the majority-vote class for x.
+func (f *Forest) Predict(x []float64) int {
+	probs := f.Proba(x)
+	best, bestP := 0, -1.0
+	for c, p := range probs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+// Proba returns the per-class vote fractions for x.
+func (f *Forest) Proba(x []float64) []float64 {
+	votes := make([]float64, f.nClasses)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	for c := range votes {
+		votes[c] /= float64(len(f.trees))
+	}
+	return votes
+}
+
+// PredictBatch classifies every row of xs.
+func (f *Forest) PredictBatch(xs [][]float64) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = f.Predict(x)
+	}
+	return out
+}
+
+// SoftProba returns per-class probabilities by averaging each tree's
+// leaf class distribution (Weka-style probability estimation) instead
+// of counting hard votes. Boundary samples get smoother estimates,
+// which matters for the one-vs-rest acceptance decision on sibling
+// device-types.
+func (f *Forest) SoftProba(x []float64) []float64 {
+	probs := make([]float64, f.nClasses)
+	for _, t := range f.trees {
+		counts := t.leafCounts(x)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for c, n := range counts {
+			probs[c] += float64(n) / float64(total)
+		}
+	}
+	for c := range probs {
+		probs[c] /= float64(len(f.trees))
+	}
+	return probs
+}

@@ -1,0 +1,63 @@
+package rf
+
+// Feature importance via mean decrease in impurity: each split's Gini
+// gain, weighted by the fraction of samples reaching the node, is
+// credited to its split feature and averaged over the forest. This is
+// the standard Breiman-style importance, used by cmd/benchreport's
+// feature-analysis report to show which of the 23 fingerprint features
+// carry the identification signal.
+
+// FeatureImportance returns one weight per feature, normalized to sum
+// to 1 (all zeros when no tree ever split).
+func (f *Forest) FeatureImportance(nFeatures int) []float64 {
+	imp := make([]float64, nFeatures)
+	for _, t := range f.trees {
+		total := rootTotal(t.root)
+		if total == 0 {
+			continue
+		}
+		accumulateImportance(t.root, imp, float64(total))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}
+
+// rootTotal counts the samples that reached the root by summing its
+// leaves (internal nodes do not store counts).
+func rootTotal(n *treeNode) int {
+	if n.isLeaf() {
+		return n.total
+	}
+	return rootTotal(n.left) + rootTotal(n.right)
+}
+
+// accumulateImportance walks the tree crediting weighted Gini gain.
+func accumulateImportance(n *treeNode, imp []float64, rootN float64) (counts []int, total int) {
+	if n.isLeaf() {
+		return n.counts, n.total
+	}
+	lc, ln := accumulateImportance(n.left, imp, rootN)
+	rc, rn := accumulateImportance(n.right, imp, rootN)
+	counts = make([]int, len(lc))
+	for i := range lc {
+		counts[i] = lc[i] + rc[i]
+	}
+	total = ln + rn
+	if total > 0 && n.feature >= 0 && n.feature < len(imp) {
+		parentGini := gini(counts, total)
+		childGini := weightedGini(lc, ln, rc, rn)
+		gain := parentGini - childGini
+		if gain > 0 {
+			imp[n.feature] += gain * float64(total) / rootN
+		}
+	}
+	return counts, total
+}

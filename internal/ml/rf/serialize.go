@@ -1,0 +1,132 @@
+package rf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire format for trained forests: a flat node array per tree, with
+// child pointers as indices. Index -1 marks "no child". The format is
+// versioned so future changes stay loadable.
+
+const wireVersion = 1
+
+type wireForest struct {
+	Version  int        `json:"version"`
+	NClasses int        `json:"nClasses"`
+	Trees    []wireTree `json:"trees"`
+}
+
+type wireTree struct {
+	Nodes []wireNode `json:"nodes"`
+}
+
+type wireNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+	Counts    []int   `json:"c,omitempty"`
+	Total     int     `json:"n,omitempty"`
+}
+
+// Save serializes the trained forest to w as versioned JSON.
+func (f *Forest) Save(w io.Writer) error {
+	wf := wireForest{
+		Version:  wireVersion,
+		NClasses: f.nClasses,
+		Trees:    make([]wireTree, len(f.trees)),
+	}
+	for i, t := range f.trees {
+		wf.Trees[i] = flattenTree(t)
+	}
+	if err := json.NewEncoder(w).Encode(wf); err != nil {
+		return fmt.Errorf("rf: save: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a forest previously written by Save.
+func Load(r io.Reader) (*Forest, error) {
+	var wf wireForest
+	if err := json.NewDecoder(r).Decode(&wf); err != nil {
+		return nil, fmt.Errorf("rf: load: %w", err)
+	}
+	if wf.Version != wireVersion {
+		return nil, fmt.Errorf("rf: load: unsupported version %d", wf.Version)
+	}
+	if wf.NClasses < 2 {
+		return nil, fmt.Errorf("rf: load: invalid class count %d", wf.NClasses)
+	}
+	if len(wf.Trees) == 0 {
+		return nil, fmt.Errorf("rf: load: forest has no trees")
+	}
+	f := &Forest{nClasses: wf.NClasses, trees: make([]*Tree, len(wf.Trees))}
+	for i, wt := range wf.Trees {
+		root, err := rebuildTree(wt.Nodes, wf.NClasses)
+		if err != nil {
+			return nil, fmt.Errorf("rf: load: tree %d: %w", i, err)
+		}
+		f.trees[i] = &Tree{root: root, nClasses: wf.NClasses}
+	}
+	return f, nil
+}
+
+// flattenTree serializes a tree's nodes in preorder.
+func flattenTree(t *Tree) wireTree {
+	var nodes []wireNode
+	var visit func(n *treeNode) int
+	visit = func(n *treeNode) int {
+		idx := len(nodes)
+		nodes = append(nodes, wireNode{Feature: -1, Left: -1, Right: -1})
+		if n.isLeaf() {
+			nodes[idx].Counts = n.counts
+			nodes[idx].Total = n.total
+			return idx
+		}
+		nodes[idx].Feature = n.feature
+		nodes[idx].Threshold = n.threshold
+		nodes[idx].Left = visit(n.left)
+		nodes[idx].Right = visit(n.right)
+		return idx
+	}
+	visit(t.root)
+	return wireTree{Nodes: nodes}
+}
+
+// rebuildTree reconstructs node pointers from the flat array,
+// validating indices and leaf shapes.
+func rebuildTree(nodes []wireNode, nClasses int) (*treeNode, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("empty node array")
+	}
+	built := make([]*treeNode, len(nodes))
+	// Two passes: allocate, then link with cycle/range checking.
+	for i, wn := range nodes {
+		built[i] = &treeNode{
+			feature:   wn.Feature,
+			threshold: wn.Threshold,
+			counts:    wn.Counts,
+			total:     wn.Total,
+		}
+		if wn.Feature < 0 {
+			if len(wn.Counts) != nClasses {
+				return nil, fmt.Errorf("node %d: leaf has %d class counts, want %d", i, len(wn.Counts), nClasses)
+			}
+		}
+	}
+	for i, wn := range nodes {
+		if wn.Feature < 0 {
+			continue
+		}
+		// Preorder layout guarantees children come after parents; this
+		// also rules out cycles.
+		if wn.Left <= i || wn.Left >= len(nodes) || wn.Right <= i || wn.Right >= len(nodes) {
+			return nil, fmt.Errorf("node %d: child index out of order (%d, %d)", i, wn.Left, wn.Right)
+		}
+		built[i].left = built[wn.Left]
+		built[i].right = built[wn.Right]
+	}
+	return built[0], nil
+}

@@ -1,0 +1,56 @@
+package rf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestForestSaveLoad(t *testing.T) {
+	x, y := twoBlobs(80, 5, 1)
+	f, err := Train(x, y, Config{Trees: 12, Seed: 9})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	g, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if g.NumTrees() != f.NumTrees() || g.NumClasses() != f.NumClasses() {
+		t.Fatalf("shape: %d/%d vs %d/%d", g.NumTrees(), g.NumClasses(), f.NumTrees(), f.NumClasses())
+	}
+	// Predictions must be bit-identical.
+	for i := range x {
+		pf, pg := f.SoftProba(x[i]), g.SoftProba(x[i])
+		if pf[0] != pg[0] || pf[1] != pg[1] {
+			t.Fatalf("sample %d: proba %v vs %v", i, pf, pg)
+		}
+	}
+}
+
+func TestForestLoadErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"garbage", "{not json"},
+		{"bad-version", `{"version":99,"nClasses":2,"trees":[{"nodes":[{"f":-1,"c":[1,1],"n":2,"l":-1,"r":-1}]}]}`},
+		{"no-trees", `{"version":1,"nClasses":2,"trees":[]}`},
+		{"bad-classes", `{"version":1,"nClasses":1,"trees":[{"nodes":[]}]}`},
+		{"empty-nodes", `{"version":1,"nClasses":2,"trees":[{"nodes":[]}]}`},
+		{"bad-leaf-counts", `{"version":1,"nClasses":2,"trees":[{"nodes":[{"f":-1,"c":[1],"n":1,"l":-1,"r":-1}]}]}`},
+		{"child-before-parent", `{"version":1,"nClasses":2,"trees":[{"nodes":[{"f":0,"t":1,"l":0,"r":0}]}]}`},
+		{"child-out-of-range", `{"version":1,"nClasses":2,"trees":[{"nodes":[{"f":0,"t":1,"l":5,"r":6}]}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tt.give)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+// Package rf implements CART decision trees and Breiman-style Random
+// Forests (bootstrap aggregation with per-split feature subsampling)
+// from scratch on the standard library. It is the classification
+// substrate behind IoT Sentinel's one-classifier-per-device-type design
+// (Sect. IV-B1), replacing the Weka implementation the paper used.
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a CART tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// counts holds per-class sample counts at the leaf.
+	counts []int
+	total  int
+}
+
+func (n *treeNode) isLeaf() bool { return n.feature < 0 }
+
+// Tree is a single CART decision tree.
+type Tree struct {
+	root     *treeNode
+	nClasses int
+}
+
+// treeParams controls tree induction.
+type treeParams struct {
+	maxDepth    int
+	minLeaf     int
+	maxFeatures int
+	nClasses    int
+}
+
+// growTree builds a CART tree on the sample indices idx.
+func growTree(x [][]float64, y []int, idx []int, p treeParams, rng *rand.Rand) *treeNode {
+	return growNode(x, y, idx, p, rng, 0)
+}
+
+func growNode(x [][]float64, y []int, idx []int, p treeParams, rng *rand.Rand, depth int) *treeNode {
+	counts := classCounts(y, idx, p.nClasses)
+	if depth >= p.maxDepth || len(idx) < 2*p.minLeaf || isPure(counts) {
+		return &treeNode{feature: -1, counts: counts, total: len(idx)}
+	}
+	feat, thr, ok := bestSplit(x, y, idx, p, rng)
+	if !ok {
+		return &treeNode{feature: -1, counts: counts, total: len(idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < p.minLeaf || len(right) < p.minLeaf {
+		return &treeNode{feature: -1, counts: counts, total: len(idx)}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      growNode(x, y, left, p, rng, depth+1),
+		right:     growNode(x, y, right, p, rng, depth+1),
+	}
+}
+
+// bestSplit scans a random subset of maxFeatures features and returns
+// the split with the lowest weighted Gini impurity.
+func bestSplit(x [][]float64, y []int, idx []int, p treeParams, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	nFeat := len(x[idx[0]])
+	order := rng.Perm(nFeat)
+	tried := 0
+
+	bestGini := math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	sorted := make([]int, len(idx))
+
+	for _, f := range order {
+		if tried >= p.maxFeatures && ok {
+			break
+		}
+		tried++
+
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return x[sorted[a]][f] < x[sorted[b]][f] })
+		vals = vals[:0]
+		for _, i := range sorted {
+			vals = append(vals, x[i][f])
+		}
+		if vals[0] == vals[len(vals)-1] {
+			continue // constant feature in this node
+		}
+
+		// Sweep thresholds between distinct consecutive values,
+		// maintaining incremental left/right class counts.
+		leftCounts := make([]int, p.nClasses)
+		rightCounts := classCounts(y, sorted, p.nClasses)
+		nLeft := 0
+		for i := 0; i < len(sorted)-1; i++ {
+			c := y[sorted[i]]
+			leftCounts[c]++
+			rightCounts[c]--
+			nLeft++
+			if vals[i] == vals[i+1] {
+				continue
+			}
+			g := weightedGini(leftCounts, nLeft, rightCounts, len(sorted)-nLeft)
+			if g < bestGini {
+				bestGini = g
+				feat = f
+				thr = (vals[i] + vals[i+1]) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func classCounts(y []int, idx []int, nClasses int) []int {
+	counts := make([]int, nClasses)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	return counts
+}
+
+func isPure(counts []int) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func weightedGini(l []int, nl int, r []int, nr int) float64 {
+	n := float64(nl + nr)
+	return float64(nl)/n*gini(l, nl) + float64(nr)/n*gini(r, nr)
+}
+
+// Predict returns the majority class at the leaf x falls into.
+func (t *Tree) Predict(x []float64) int {
+	counts := t.leafCounts(x)
+	best, bestCount := 0, -1
+	for c, n := range counts {
+		if n > bestCount {
+			best, bestCount = c, n
+		}
+	}
+	return best
+}
+
+func (t *Tree) leafCounts(x []float64) []int {
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.counts
+}
+
+// Depth returns the depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n.isLeaf() {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// TrainTree builds a single CART tree on the full dataset; exported for
+// tests and for the forest-size ablation's single-tree baseline.
+func TrainTree(x [][]float64, y []int, maxDepth, minLeaf int, seed int64) (*Tree, error) {
+	nClasses, err := validate(x, y)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	p := treeParams{
+		maxDepth:    maxDepth,
+		minLeaf:     minLeaf,
+		maxFeatures: len(x[0]),
+		nClasses:    nClasses,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Tree{root: growNode(x, y, idx, p, rng, 0), nClasses: nClasses}, nil
+}
+
+func validate(x [][]float64, y []int) (nClasses int, err error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("rf: empty training set")
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("rf: %d samples but %d labels", len(x), len(y))
+	}
+	width := len(x[0])
+	if width == 0 {
+		return 0, fmt.Errorf("rf: zero-width feature vectors")
+	}
+	for i, row := range x {
+		if len(row) != width {
+			return 0, fmt.Errorf("rf: sample %d has width %d, want %d", i, len(row), width)
+		}
+	}
+	for i, c := range y {
+		if c < 0 {
+			return 0, fmt.Errorf("rf: negative label %d at sample %d", c, i)
+		}
+		if c+1 > nClasses {
+			nClasses = c + 1
+		}
+	}
+	return nClasses, nil
+}

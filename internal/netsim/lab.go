@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+// Lab is the assembled Fig 4 test network: a switch+controller pair, a
+// network with hosts D1..D4, Slocal and Sremote, and handles to the
+// enforcement-rule cache.
+type Lab struct {
+	Net   *Network
+	Ctrl  *sdn.Controller
+	Cache *sdn.RuleCache
+}
+
+// GatewayMAC is the gateway's own interface address in the lab.
+var GatewayMAC = packet.MAC{0x02, 0x1a, 0x11, 0x00, 0x00, 0x01}
+
+// NewLab builds the Sect. VI-C measurement topology. The user devices
+// D1..D4 receive Trusted rules so baseline latency measurements are not
+// blocked; Slocal and Sremote are reachable servers. Per-device link
+// latencies are calibrated to Table V's no-filtering column.
+func NewLab(seed int64) (*Lab, error) {
+	cache := sdn.NewRuleCache()
+	ctrl := sdn.NewController(cache, netip.MustParsePrefix("192.168.0.0/16"))
+	ctrl.AddInfrastructure(GatewayMAC)
+	sw := sdn.NewSwitch(ctrl, 30*time.Second)
+	net := New(sw, DefaultModel(), seed)
+
+	hosts := []Host{
+		{Name: "D1", Kind: KindDevice, MAC: labMAC(1), IP: labIP(11),
+			Latency: 6500 * time.Microsecond, Jitter: 700 * time.Microsecond},
+		{Name: "D2", Kind: KindDevice, MAC: labMAC(2), IP: labIP(12),
+			Latency: 8300 * time.Microsecond, Jitter: 800 * time.Microsecond},
+		{Name: "D3", Kind: KindDevice, MAC: labMAC(3), IP: labIP(13),
+			Latency: 7900 * time.Microsecond, Jitter: 800 * time.Microsecond},
+		{Name: "D4", Kind: KindDevice, MAC: labMAC(4), IP: labIP(14),
+			Latency: 5700 * time.Microsecond, Jitter: 700 * time.Microsecond},
+		{Name: "Slocal", Kind: KindLocalServer, MAC: labMAC(5), IP: labIP(200),
+			Latency: 1600 * time.Microsecond, Jitter: 600 * time.Microsecond},
+		{Name: "Sremote", Kind: KindRemoteServer, MAC: GatewayMAC,
+			IP:      netip.MustParseAddr("52.29.50.1"),
+			Latency: 3100 * time.Microsecond, Jitter: 1500 * time.Microsecond},
+	}
+	for _, h := range hosts {
+		if err := net.AddHost(h); err != nil {
+			return nil, fmt.Errorf("lab setup: %w", err)
+		}
+	}
+	// The measurement devices are trusted so the latency experiments
+	// measure forwarding, not policy drops; the servers are
+	// infrastructure.
+	for i := 1; i <= 4; i++ {
+		cache.Put(&sdn.EnforcementRule{DeviceMAC: labMAC(i), Level: sdn.Trusted,
+			DeviceType: fmt.Sprintf("user-device-%d", i)})
+	}
+	ctrl.AddInfrastructure(labMAC(5))
+	return &Lab{Net: net, Ctrl: ctrl, Cache: cache}, nil
+}
+
+func labMAC(i int) packet.MAC {
+	return packet.MAC{0x02, 0xd0, 0x00, 0x00, 0x00, byte(i)}
+}
+
+func labIP(last byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{192, 168, 1, last})
+}

@@ -1,0 +1,284 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+func newLab(t *testing.T) *Lab {
+	t.Helper()
+	lab, err := NewLab(1)
+	if err != nil {
+		t.Fatalf("NewLab: %v", err)
+	}
+	return lab
+}
+
+func TestLabSetup(t *testing.T) {
+	lab := newLab(t)
+	hosts := lab.Net.Hosts()
+	want := []string{"D1", "D2", "D3", "D4", "Slocal", "Sremote"}
+	if len(hosts) != len(want) {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	for i := range want {
+		if hosts[i] != want[i] {
+			t.Fatalf("hosts = %v, want %v", hosts, want)
+		}
+	}
+	if _, err := lab.Net.Host("D9"); err == nil {
+		t.Error("unknown host lookup must fail")
+	}
+	if err := lab.Net.AddHost(Host{Name: "D1"}); err == nil {
+		t.Error("duplicate host must fail")
+	}
+	if err := lab.Net.AddHost(Host{}); err == nil {
+		t.Error("unnamed host must fail")
+	}
+}
+
+func TestPingDeviceToDevice(t *testing.T) {
+	lab := newLab(t)
+	res, err := lab.Net.Ping("D1", "D4")
+	if err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if !res.Delivered {
+		t.Fatal("trusted device ping dropped")
+	}
+	// Table V scale: D1-D4 RTT around 24-25 ms.
+	if res.RTT < 18*time.Millisecond || res.RTT > 32*time.Millisecond {
+		t.Errorf("D1-D4 RTT = %v, want ~24ms", res.RTT)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// Table V shape: device-to-device is slower than device-to-local-
+	// server; remote is between.
+	lab := newLab(t)
+	d2d, err := lab.Net.MeasureLatency("D1", "D4", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := lab.Net.MeasureLatency("D1", "Slocal", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := lab.Net.MeasureLatency("D1", "Sremote", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2d.Delivered != 15 || local.Delivered != 15 || remote.Delivered != 15 {
+		t.Fatalf("losses: %d/%d/%d", d2d.Lost, local.Lost, remote.Lost)
+	}
+	if !(local.Mean < remote.Mean && remote.Mean < d2d.Mean) {
+		t.Errorf("ordering violated: local=%v remote=%v d2d=%v",
+			local.Mean, remote.Mean, d2d.Mean)
+	}
+}
+
+func TestFilteringOverheadSmall(t *testing.T) {
+	// Table VI: filtering adds only a few percent of latency.
+	withLab := newLab(t)
+	with, err := withLab.Net.MeasureLatency("D1", "D4", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutLab := newLab(t)
+	withoutLab.Ctrl.SetFiltering(false)
+	without, err := withoutLab.Net.MeasureLatency("D1", "D4", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := float64(with.Mean-without.Mean) / float64(without.Mean)
+	if overhead < -0.02 || overhead > 0.10 {
+		t.Errorf("filtering overhead = %.1f%%, want roughly 0-10%%", overhead*100)
+	}
+}
+
+func TestStrictDeviceBlocked(t *testing.T) {
+	lab := newLab(t)
+	// Demote D2 to strict: D2 lives in the untrusted overlay while D4
+	// is trusted, so pings between them must drop.
+	lab.Cache.Put(&sdn.EnforcementRule{DeviceMAC: labMAC(2), Level: sdn.Strict})
+	lab.Net.Switch().InvalidateDevice(labMAC(2))
+	res, err := lab.Net.Ping("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Error("strict device reached a trusted device")
+	}
+	// And the reverse direction is equally blocked.
+	res, err = lab.Net.Ping("D4", "D2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Error("trusted device reached a strict device")
+	}
+}
+
+func TestRestrictedDeviceCloudOnly(t *testing.T) {
+	lab := newLab(t)
+	remote, err := lab.Net.Host("Sremote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab.Cache.Put(&sdn.EnforcementRule{
+		DeviceMAC:    labMAC(1),
+		Level:        sdn.Restricted,
+		PermittedIPs: []netip.Addr{remote.IP},
+	})
+	lab.Net.Switch().InvalidateDevice(labMAC(1))
+
+	res, err := lab.Net.Ping("D1", "Sremote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Error("restricted device blocked from its permitted endpoint")
+	}
+	// A different Internet host must be blocked. Add one.
+	if err := lab.Net.AddHost(Host{
+		Name: "Sother", Kind: KindRemoteServer, MAC: GatewayMAC,
+		IP: netip.MustParseAddr("8.8.8.8"), Latency: 3 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = lab.Net.Ping("D1", "Sother")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Error("restricted device reached a non-permitted endpoint")
+	}
+}
+
+func TestBackgroundFlowsRaiseLatencySlightly(t *testing.T) {
+	// Fig 6a: latency grows only insignificantly up to 150 flows.
+	lab := newLab(t)
+	base, err := lab.Net.MeasureLatency("D1", "D4", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab.Net.SetBackgroundFlows(150)
+	if lab.Net.BackgroundFlows() != 150 {
+		t.Fatalf("BackgroundFlows = %d", lab.Net.BackgroundFlows())
+	}
+	loaded, err := lab.Net.MeasureLatency("D1", "D4", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := float64(loaded.Mean-base.Mean) / float64(base.Mean)
+	if inc < -0.05 || inc > 0.30 {
+		t.Errorf("latency increase at 150 flows = %.1f%%, want small", inc*100)
+	}
+	// Background flows occupy real flow-table entries.
+	if lab.Net.Switch().Table().Len() < 150 {
+		t.Errorf("flow table has %d entries", lab.Net.Switch().Table().Len())
+	}
+}
+
+func TestCPUModel(t *testing.T) {
+	lab := newLab(t)
+	idle := lab.Net.CPUUtilization()
+	lab.Net.SetBackgroundFlows(150)
+	loaded := lab.Net.CPUUtilization()
+	if loaded <= idle {
+		t.Errorf("CPU did not grow with flows: %.1f -> %.1f", idle, loaded)
+	}
+	if idle < 30 || loaded > 60 {
+		t.Errorf("CPU out of Fig 6b range: %.1f..%.1f", idle, loaded)
+	}
+	lab.Ctrl.SetFiltering(false)
+	noFilter := lab.Net.CPUUtilization()
+	if noFilter >= loaded {
+		t.Errorf("disabling filtering did not reduce CPU: %.1f vs %.1f", noFilter, loaded)
+	}
+}
+
+func TestMemoryModelLinear(t *testing.T) {
+	lab := newLab(t)
+	base := lab.Net.MemoryMB()
+	for i := 0; i < 20000; i++ {
+		mac := packet.MAC{0x02, 0xee, byte(i >> 16), byte(i >> 8), byte(i), 0}
+		lab.Cache.Put(&sdn.EnforcementRule{DeviceMAC: mac, Level: sdn.Strict})
+	}
+	full := lab.Net.MemoryMB()
+	if full <= base {
+		t.Fatalf("memory did not grow: %.1f -> %.1f", base, full)
+	}
+	// Fig 6c scale: below 100 MB at 20 000 rules.
+	if full > 100 {
+		t.Errorf("memory at 20000 rules = %.1f MB, want < 100", full)
+	}
+	half := lab.Net.MemoryMB()
+	_ = half
+	// Linearity: removing half the rules gives roughly the midpoint.
+	removed := 0
+	for i := 0; i < 20000 && removed < 10000; i++ {
+		mac := packet.MAC{0x02, 0xee, byte(i >> 16), byte(i >> 8), byte(i), 0}
+		if lab.Cache.Remove(mac) {
+			removed++
+		}
+	}
+	mid := lab.Net.MemoryMB()
+	wantMid := base + (full-base)/2
+	if diff := mid - wantMid; diff < -2 || diff > 2 {
+		t.Errorf("memory not linear: base=%.1f mid=%.1f full=%.1f", base, mid, full)
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	lab := newLab(t)
+	before := lab.Net.Clock()
+	if _, err := lab.Net.Ping("D1", "D4"); err != nil {
+		t.Fatal(err)
+	}
+	if !lab.Net.Clock().After(before) {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestWirelessRedirectClosesBypass(t *testing.T) {
+	// Sect. V: on a stock AP, wireless-to-wireless traffic is bridged
+	// below the data plane and escapes enforcement. The redirect
+	// closes that hole.
+	lab := newLab(t)
+	lab.Cache.Put(&sdn.EnforcementRule{DeviceMAC: labMAC(2), Level: sdn.Strict})
+	lab.Net.Switch().InvalidateDevice(labMAC(2))
+
+	// Stock AP: the strict device reaches the trusted device anyway.
+	lab.Net.SetWirelessRedirect(false)
+	res, err := lab.Net.Ping("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatal("bridged traffic should bypass enforcement on a stock AP")
+	}
+	// With the redirect, isolation holds.
+	lab.Net.SetWirelessRedirect(true)
+	res, err = lab.Net.Ping("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Error("redirected traffic escaped enforcement")
+	}
+	// Device-to-server traffic always crosses the data plane, redirect
+	// or not: a strict device cannot reach the Internet either way.
+	lab.Net.SetWirelessRedirect(false)
+	res, err = lab.Net.Ping("D2", "Sremote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Error("internet-bound traffic bypassed the data plane")
+	}
+}

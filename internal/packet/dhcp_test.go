@@ -1,0 +1,90 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestDHCPRoundTrip(t *testing.T) {
+	give := DHCPMessage{
+		Op:          1,
+		XID:         0xdeadbeef,
+		ClientMAC:   testSrcMAC,
+		MsgType:     DHCPRequest,
+		Hostname:    "ikettle-20",
+		RequestedIP: netip.AddrFrom4([4]byte{192, 168, 1, 77}),
+		ParamList:   []uint8{1, 3, 6, 15, 42},
+	}
+	got, err := ParseDHCP(give.Marshal())
+	if err != nil {
+		t.Fatalf("ParseDHCP: %v", err)
+	}
+	if got.Op != give.Op || got.XID != give.XID || got.ClientMAC != give.ClientMAC {
+		t.Errorf("fixed fields mismatch: %+v", got)
+	}
+	if got.MsgType != give.MsgType {
+		t.Errorf("MsgType = %d, want %d", got.MsgType, give.MsgType)
+	}
+	if got.Hostname != give.Hostname {
+		t.Errorf("Hostname = %q, want %q", got.Hostname, give.Hostname)
+	}
+	if got.RequestedIP != give.RequestedIP {
+		t.Errorf("RequestedIP = %v, want %v", got.RequestedIP, give.RequestedIP)
+	}
+	if len(got.ParamList) != len(give.ParamList) {
+		t.Errorf("ParamList = %v, want %v", got.ParamList, give.ParamList)
+	}
+}
+
+func TestDHCPPlainBOOTP(t *testing.T) {
+	give := DHCPMessage{Op: 2, XID: 7, ClientMAC: testSrcMAC,
+		YourIP: netip.AddrFrom4([4]byte{10, 0, 0, 2})}
+	raw := give.Marshal()
+	// Strip the options area including the magic cookie to simulate a
+	// plain BOOTP reply.
+	raw = raw[:dhcpFixedLen]
+	got, err := ParseDHCP(raw)
+	if err != nil {
+		t.Fatalf("ParseDHCP: %v", err)
+	}
+	if got.MsgType != 0 {
+		t.Errorf("MsgType = %d, want 0 for plain BOOTP", got.MsgType)
+	}
+	if got.YourIP != give.YourIP {
+		t.Errorf("YourIP = %v, want %v", got.YourIP, give.YourIP)
+	}
+}
+
+func TestDHCPParseErrors(t *testing.T) {
+	if _, err := ParseDHCP(make([]byte, 10)); err == nil {
+		t.Error("short message should fail")
+	}
+	m := DHCPMessage{Op: 1, MsgType: DHCPDiscover}
+	raw := m.Marshal()
+	// Truncate mid-option: fixed header + cookie + option code only.
+	raw = raw[:dhcpFixedLen+4+1]
+	if _, err := ParseDHCP(raw); err == nil {
+		t.Error("truncated option should fail")
+	}
+}
+
+func TestDHCPQuickRoundTrip(t *testing.T) {
+	f := func(xid uint32, host string, mac [6]byte) bool {
+		if len(host) > 200 {
+			host = host[:200]
+		}
+		// Option length is one byte and zero-length hostnames are not
+		// emitted, so normalize.
+		give := DHCPMessage{Op: 1, XID: xid, ClientMAC: MAC(mac),
+			MsgType: DHCPDiscover, Hostname: host}
+		got, err := ParseDHCP(give.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.XID == xid && got.ClientMAC == MAC(mac) && got.Hostname == host
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

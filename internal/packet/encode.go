@@ -1,0 +1,227 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Header sizes in bytes.
+const (
+	ethHeaderLen  = 14
+	llcHeaderLen  = 3
+	arpBodyLen    = 28
+	ipv4HeaderLen = 20
+	ipv6HeaderLen = 40
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+	icmpHeaderLen = 8
+	eapolHdrLen   = 4
+)
+
+// Marshal serializes the packet to its wire-format frame. The resulting
+// frame round-trips through Decode. Size and App are derived fields and
+// are ignored on input; Marshal recomputes checksummed and length fields.
+func (p *Packet) Marshal() ([]byte, error) {
+	switch p.Link {
+	case LinkARP:
+		return marshalARP(p)
+	case LinkLLC:
+		return marshalLLC(p)
+	case LinkEthernet:
+		// handled below
+	default:
+		return nil, fmt.Errorf("marshal: unsupported link proto %v", p.Link)
+	}
+
+	switch p.Network {
+	case NetEAPoL:
+		return marshalEAPoL(p)
+	case NetIPv4, NetICMP:
+		return marshalIPv4(p)
+	case NetIPv6, NetICMPv6:
+		return marshalIPv6(p)
+	default:
+		return nil, fmt.Errorf("marshal: unsupported network proto %v", p.Network)
+	}
+}
+
+func putEthHeader(buf []byte, p *Packet, etherType uint16) {
+	copy(buf[0:6], p.DstMAC[:])
+	copy(buf[6:12], p.SrcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], etherType)
+}
+
+func marshalARP(p *Packet) ([]byte, error) {
+	buf := make([]byte, ethHeaderLen+arpBodyLen)
+	putEthHeader(buf, p, EtherTypeARP)
+	b := buf[ethHeaderLen:]
+	binary.BigEndian.PutUint16(b[0:2], 1)             // HTYPE: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], EtherTypeIPv4) // PTYPE: IPv4
+	b[4] = 6                                          // HLEN
+	b[5] = 4                                          // PLEN
+	binary.BigEndian.PutUint16(b[6:8], 1)             // OPER: request
+	copy(b[8:14], p.SrcMAC[:])                        // SHA
+	putAddr4(b[14:18], p.SrcIP)
+	// THA (b[18:24]) stays zero: target hardware address unknown.
+	putAddr4(b[24:28], p.DstIP)
+	return buf, nil
+}
+
+func marshalLLC(p *Packet) ([]byte, error) {
+	body := p.Payload
+	if len(body) == 0 {
+		body = []byte{0x00} // minimal LLC information field
+	}
+	buf := make([]byte, ethHeaderLen+llcHeaderLen+len(body))
+	copy(buf[0:6], p.DstMAC[:])
+	copy(buf[6:12], p.SrcMAC[:])
+	// 802.3 length field: LLC header + body.
+	binary.BigEndian.PutUint16(buf[12:14], uint16(llcHeaderLen+len(body)))
+	buf[14] = 0x42 // DSAP: spanning tree, a common LLC user
+	buf[15] = 0x42 // SSAP
+	buf[16] = 0x03 // control: unnumbered information
+	copy(buf[ethHeaderLen+llcHeaderLen:], body)
+	return buf, nil
+}
+
+func marshalEAPoL(p *Packet) ([]byte, error) {
+	body := p.Payload
+	buf := make([]byte, ethHeaderLen+eapolHdrLen+len(body))
+	putEthHeader(buf, p, EtherTypeEAPoL)
+	b := buf[ethHeaderLen:]
+	b[0] = 2 // protocol version: 802.1X-2004
+	b[1] = 3 // packet type: EAPOL-Key
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(body)))
+	copy(b[eapolHdrLen:], body)
+	return buf, nil
+}
+
+func marshalIPv4(p *Packet) ([]byte, error) {
+	if !p.SrcIP.Is4() || !p.DstIP.Is4() {
+		return nil, fmt.Errorf("marshal ipv4: non-IPv4 addresses %v -> %v", p.SrcIP, p.DstIP)
+	}
+	opts := encodeIPv4Options(p.IPOpts)
+	transport, proto, err := marshalTransport(p)
+	if err != nil {
+		return nil, err
+	}
+	ihl := ipv4HeaderLen + len(opts)
+	total := ihl + len(transport)
+	buf := make([]byte, ethHeaderLen+total)
+	putEthHeader(buf, p, EtherTypeIPv4)
+	b := buf[ethHeaderLen:]
+	b[0] = byte(0x40 | (ihl / 4)) // version 4, IHL in 32-bit words
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	b[8] = 64 // TTL
+	b[9] = proto
+	putAddr4(b[12:16], p.SrcIP)
+	putAddr4(b[16:20], p.DstIP)
+	copy(b[ipv4HeaderLen:], opts)
+	binary.BigEndian.PutUint16(b[10:12], ipv4Checksum(b[:ihl]))
+	copy(b[ihl:], transport)
+	return buf, nil
+}
+
+func marshalIPv6(p *Packet) ([]byte, error) {
+	if !p.SrcIP.Is6() || p.SrcIP.Is4In6() || !p.DstIP.Is6() || p.DstIP.Is4In6() {
+		return nil, fmt.Errorf("marshal ipv6: non-IPv6 addresses %v -> %v", p.SrcIP, p.DstIP)
+	}
+	transport, proto, err := marshalTransport(p)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, ethHeaderLen+ipv6HeaderLen+len(transport))
+	putEthHeader(buf, p, EtherTypeIPv6)
+	b := buf[ethHeaderLen:]
+	b[0] = 0x60 // version 6
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(transport)))
+	b[6] = proto
+	b[7] = 64 // hop limit
+	src := p.SrcIP.As16()
+	dst := p.DstIP.As16()
+	copy(b[8:24], src[:])
+	copy(b[24:40], dst[:])
+	copy(b[ipv6HeaderLen:], transport)
+	return buf, nil
+}
+
+// marshalTransport serializes the transport segment (or ICMP message) and
+// returns it together with the IP protocol number.
+func marshalTransport(p *Packet) ([]byte, uint8, error) {
+	switch p.Network {
+	case NetICMP:
+		return marshalICMP(p, 8 /* echo request */), IPProtoICMP, nil
+	case NetICMPv6:
+		return marshalICMP(p, 128 /* echo request */), IPProtoICMPv6, nil
+	}
+	switch p.Transport {
+	case TransportTCP:
+		seg := make([]byte, tcpHeaderLen+len(p.Payload))
+		binary.BigEndian.PutUint16(seg[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(seg[2:4], p.DstPort)
+		seg[12] = (tcpHeaderLen / 4) << 4 // data offset
+		seg[13] = 0x18                    // PSH|ACK
+		binary.BigEndian.PutUint16(seg[14:16], 0xffff)
+		copy(seg[tcpHeaderLen:], p.Payload)
+		return seg, IPProtoTCP, nil
+	case TransportUDP:
+		seg := make([]byte, udpHeaderLen+len(p.Payload))
+		binary.BigEndian.PutUint16(seg[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(seg[2:4], p.DstPort)
+		binary.BigEndian.PutUint16(seg[4:6], uint16(udpHeaderLen+len(p.Payload)))
+		copy(seg[udpHeaderLen:], p.Payload)
+		return seg, IPProtoUDP, nil
+	case TransportNone:
+		// A bare IP packet (no transport); carry payload directly with
+		// an unassigned protocol number.
+		return p.Payload, 253, nil
+	default:
+		return nil, 0, fmt.Errorf("marshal: unsupported transport %v", p.Transport)
+	}
+}
+
+func marshalICMP(p *Packet, typ byte) []byte {
+	msg := make([]byte, icmpHeaderLen+len(p.Payload))
+	msg[0] = typ
+	copy(msg[icmpHeaderLen:], p.Payload)
+	binary.BigEndian.PutUint16(msg[2:4], ipv4Checksum(msg))
+	return msg
+}
+
+func encodeIPv4Options(opts IPv4Options) []byte {
+	var b []byte
+	if opts.RouterAlert {
+		b = append(b, 148, 4, 0, 0) // RFC 2113 router alert, value 0
+	}
+	if opts.Padding {
+		b = append(b, 0) // EOOL used as padding
+	}
+	// Options area must be a multiple of 4 bytes.
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func putAddr4(dst []byte, a netip.Addr) {
+	if a.Is4() {
+		b := a.As4()
+		copy(dst, b[:])
+	}
+}
+
+// ipv4Checksum computes the RFC 1071 internet checksum over b.
+func ipv4Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

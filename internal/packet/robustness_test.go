@@ -1,0 +1,122 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics drives Decode with random byte soup: decoding
+// must fail gracefully with an error, never panic or read out of
+// bounds.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeMutatedFrames flips bytes in valid frames: mutated frames
+// either decode to something or error, but never panic.
+func TestDecodeMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seeds := []*Packet{
+		NewDHCPDiscover(testSrcMAC, 1, "dev"),
+		NewARP(testSrcMAC, testSrcIP, testDstIP),
+		NewHTTPGet(testSrcMAC, testDstMAC, testSrcIP, testDstIP, 40000, "h", "/"),
+		NewICMPEcho(testSrcMAC, testDstMAC, testSrcIP, testDstIP, 8),
+		NewEAPoL(testSrcMAC, testDstMAC, 95),
+	}
+	for _, p := range seeds {
+		frame, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			mutated := append([]byte(nil), frame...)
+			for flips := 0; flips < 1+rng.Intn(4); flips++ {
+				mutated[rng.Intn(len(mutated))] ^= byte(1 << rng.Intn(8))
+			}
+			// Random truncation too.
+			if rng.Intn(3) == 0 {
+				mutated = mutated[:rng.Intn(len(mutated)+1)]
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Decode panicked on mutated frame: %v", r)
+					}
+				}()
+				_, _ = Decode(mutated)
+			}()
+		}
+	}
+}
+
+// TestParseDHCPNeverPanics fuzzes the DHCP option parser.
+func TestParseDHCPNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseDHCP panicked: %v", r)
+			}
+		}()
+		_, _ = ParseDHCP(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseDNSNeverPanics fuzzes the DNS name decoder, including its
+// compression-pointer handling.
+func TestParseDNSNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseDNS panicked: %v", r)
+			}
+		}()
+		_, _ = ParseDNS(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshalUDP(b *testing.B) {
+	p := NewDHCPDiscover(testSrcMAC, 1, "bench-device")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeUDP(b *testing.B) {
+	frame, err := NewDHCPDiscover(testSrcMAC, 1, "bench-device").Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

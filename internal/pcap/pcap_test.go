@@ -1,0 +1,158 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: time.Unix(1460000000, 123000).UTC(), Data: []byte{1, 2, 3, 4}},
+		{Time: time.Unix(1460000001, 0).UTC(), Data: bytes.Repeat([]byte{0xab}, 1500)},
+		{Time: time.Unix(1460000002, 999000).UTC(), Data: []byte{}},
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !got[i].Time.Equal(recs[i].Time) {
+			t.Errorf("record %d time = %v, want %v", i, got[i].Time, recs[i].Time)
+		}
+		if !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Errorf("record %d data mismatch (%d vs %d bytes)", i, len(got[i].Data), len(recs[i].Data))
+		}
+		if got[i].OrigLen != len(recs[i].Data) {
+			t.Errorf("record %d OrigLen = %d, want %d", i, got[i].OrigLen, len(recs[i].Data))
+		}
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	if buf.Len() != globalHeaderLen {
+		t.Errorf("empty capture = %d bytes, want %d", buf.Len(), globalHeaderLen)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("records = %d, want 0", len(got))
+	}
+}
+
+func TestBigEndianFile(t *testing.T) {
+	// Hand-build a big-endian capture with one 3-byte record.
+	var buf bytes.Buffer
+	hdr := make([]byte, globalHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, recordHeaderLen)
+	binary.BigEndian.PutUint32(rec[0:4], 100)
+	binary.BigEndian.PutUint32(rec[4:8], 7)
+	binary.BigEndian.PutUint32(rec[8:12], 3)
+	binary.BigEndian.PutUint32(rec[12:16], 3)
+	buf.Write(rec)
+	buf.Write([]byte{9, 8, 7})
+
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0].Data, []byte{9, 8, 7}) {
+		t.Fatalf("got %+v", got)
+	}
+	if got[0].Time.Unix() != 100 || got[0].Time.Nanosecond() != 7000 {
+		t.Errorf("time = %v", got[0].Time)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, globalHeaderLen)
+	copy(data, []byte{0xde, 0xad, 0xbe, 0xef})
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	recs := []Record{{Time: time.Unix(1, 0), Data: []byte{1, 2, 3, 4, 5}}}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{globalHeaderLen - 1, globalHeaderLen + 3, len(full) - 2} {
+		if _, err := ReadAll(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes should fail", cut)
+		}
+	}
+}
+
+func TestImplausibleSnapLen(t *testing.T) {
+	hdr := make([]byte, globalHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint32(hdr[16:20], MaxSnapLen+1)
+	if _, err := NewReader(bytes.NewReader(hdr)); err == nil {
+		t.Error("oversized snap length should fail")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteRecord(Record{Data: make([]byte, 70000)}); err == nil {
+		t.Error("record beyond snap length should fail")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, secs uint32) bool {
+		recs := make([]Record, 0, len(payloads))
+		for i, p := range payloads {
+			if len(p) > 65535 {
+				p = p[:65535]
+			}
+			recs = append(recs, Record{
+				Time: time.Unix(int64(secs)+int64(i), 0).UTC(),
+				Data: p,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, recs); err != nil {
+			return false
+		}
+		got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if !bytes.Equal(got[i].Data, recs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

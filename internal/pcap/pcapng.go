@@ -1,0 +1,279 @@
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// pcapng (https://datatracker.ietf.org/doc/draft-ietf-opsawg-pcapng/)
+// reader: Section Header Blocks, Interface Description Blocks (with
+// if_tsresol handling) and Enhanced/Simple Packet Blocks. Everything
+// else is skipped, as the capture tooling this substrate replaces does.
+
+const (
+	blockSHB uint32 = 0x0a0d0d0a
+	blockIDB uint32 = 0x00000001
+	blockSPB uint32 = 0x00000003
+	blockEPB uint32 = 0x00000006
+
+	byteOrderMagic = 0x1a2b3c4d
+
+	// maxBlockLen bounds block sizes to reject corrupt files.
+	maxBlockLen = 1 << 24
+)
+
+// ngInterface tracks the per-interface timestamp resolution.
+type ngInterface struct {
+	// tsDivisor converts raw timestamps to nanoseconds:
+	// ns = raw * 1e9 / tsPerSec.
+	tsPerSec uint64
+	snapLen  uint32
+}
+
+// NGReader parses pcapng records.
+type NGReader struct {
+	r      *bufio.Reader
+	order  binary.ByteOrder
+	ifaces []ngInterface
+}
+
+// NewNGReader parses the leading Section Header Block.
+func NewNGReader(r io.Reader) (*NGReader, error) {
+	br := bufio.NewReader(r)
+	rd := &NGReader{r: br}
+	if err := rd.readSectionHeader(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+func (r *NGReader) readSectionHeader() error {
+	var head [12]byte
+	if _, err := io.ReadFull(r.r, head[:]); err != nil {
+		return fmt.Errorf("pcapng: read section header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(head[0:4]) != blockSHB {
+		return ErrBadMagic
+	}
+	switch binary.LittleEndian.Uint32(head[8:12]) {
+	case byteOrderMagic:
+		r.order = binary.LittleEndian
+	case 0x4d3c2b1a:
+		r.order = binary.BigEndian
+	default:
+		return fmt.Errorf("pcapng: bad byte-order magic")
+	}
+	total := r.order.Uint32(head[4:8])
+	if total < 28 || total > maxBlockLen || total%4 != 0 {
+		return fmt.Errorf("pcapng: implausible SHB length %d", total)
+	}
+	// Skip the rest of the SHB (version, section length, options,
+	// trailing length).
+	if _, err := io.CopyN(io.Discard, r.r, int64(total-12)); err != nil {
+		return fmt.Errorf("pcapng: skip SHB body: %w", err)
+	}
+	r.ifaces = r.ifaces[:0]
+	return nil
+}
+
+// ReadRecord returns the next packet record, or io.EOF.
+func (r *NGReader) ReadRecord() (Record, error) {
+	for {
+		var head [8]byte
+		if _, err := io.ReadFull(r.r, head[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return Record{}, io.EOF
+			}
+			return Record{}, fmt.Errorf("pcapng: read block header: %w", err)
+		}
+		blockType := r.order.Uint32(head[0:4])
+		total := r.order.Uint32(head[4:8])
+		if blockType == blockSHB {
+			// A new section restarts interface numbering; re-parse by
+			// reconstructing the header we already consumed.
+			if err := r.reparseSection(head[:]); err != nil {
+				return Record{}, err
+			}
+			continue
+		}
+		if total < 12 || total > maxBlockLen || total%4 != 0 {
+			return Record{}, fmt.Errorf("pcapng: implausible block length %d", total)
+		}
+		body := make([]byte, total-12)
+		if _, err := io.ReadFull(r.r, body); err != nil {
+			return Record{}, fmt.Errorf("pcapng: read block body: %w", err)
+		}
+		var trail [4]byte
+		if _, err := io.ReadFull(r.r, trail[:]); err != nil {
+			return Record{}, fmt.Errorf("pcapng: read block trailer: %w", err)
+		}
+		if r.order.Uint32(trail[:]) != total {
+			return Record{}, fmt.Errorf("pcapng: trailer length mismatch")
+		}
+
+		switch blockType {
+		case blockIDB:
+			if err := r.parseIDB(body); err != nil {
+				return Record{}, err
+			}
+		case blockEPB:
+			rec, err := r.parseEPB(body)
+			if err != nil {
+				return Record{}, err
+			}
+			return rec, nil
+		case blockSPB:
+			rec, err := r.parseSPB(body)
+			if err != nil {
+				return Record{}, err
+			}
+			return rec, nil
+		default:
+			// Name resolution, statistics, custom blocks: skipped.
+		}
+	}
+}
+
+func (r *NGReader) reparseSection(head []byte) error {
+	var rest [4]byte
+	if _, err := io.ReadFull(r.r, rest[:]); err != nil {
+		return fmt.Errorf("pcapng: read SHB magic: %w", err)
+	}
+	switch binary.LittleEndian.Uint32(rest[:]) {
+	case byteOrderMagic:
+		r.order = binary.LittleEndian
+	case 0x4d3c2b1a:
+		r.order = binary.BigEndian
+	default:
+		return fmt.Errorf("pcapng: bad byte-order magic in new section")
+	}
+	total := r.order.Uint32(head[4:8])
+	if total < 28 || total > maxBlockLen {
+		return fmt.Errorf("pcapng: implausible SHB length %d", total)
+	}
+	if _, err := io.CopyN(io.Discard, r.r, int64(total-12)); err != nil {
+		return fmt.Errorf("pcapng: skip SHB body: %w", err)
+	}
+	r.ifaces = r.ifaces[:0]
+	return nil
+}
+
+func (r *NGReader) parseIDB(body []byte) error {
+	if len(body) < 8 {
+		return fmt.Errorf("pcapng: IDB body of %d bytes", len(body))
+	}
+	iface := ngInterface{
+		tsPerSec: 1_000_000, // default: microseconds
+		snapLen:  r.order.Uint32(body[4:8]),
+	}
+	// Options start at offset 8: code(2) len(2) value(padded).
+	opts := body[8:]
+	for len(opts) >= 4 {
+		code := r.order.Uint16(opts[0:2])
+		olen := int(r.order.Uint16(opts[2:4]))
+		if 4+olen > len(opts) {
+			break
+		}
+		if code == 9 && olen >= 1 { // if_tsresol
+			v := opts[4]
+			if v&0x80 == 0 {
+				iface.tsPerSec = pow10(int(v))
+			} else {
+				iface.tsPerSec = 1 << (v & 0x7f)
+			}
+		}
+		pad := (4 - olen%4) % 4
+		opts = opts[4+olen+pad:]
+		if code == 0 { // opt_endofopt
+			break
+		}
+	}
+	r.ifaces = append(r.ifaces, iface)
+	return nil
+}
+
+func (r *NGReader) parseEPB(body []byte) (Record, error) {
+	if len(body) < 20 {
+		return Record{}, fmt.Errorf("pcapng: EPB body of %d bytes", len(body))
+	}
+	ifID := r.order.Uint32(body[0:4])
+	if int(ifID) >= len(r.ifaces) {
+		return Record{}, fmt.Errorf("pcapng: EPB references unknown interface %d", ifID)
+	}
+	iface := r.ifaces[ifID]
+	tsRaw := uint64(r.order.Uint32(body[4:8]))<<32 | uint64(r.order.Uint32(body[8:12]))
+	capLen := r.order.Uint32(body[12:16])
+	origLen := r.order.Uint32(body[16:20])
+	if int(capLen) > len(body)-20 {
+		return Record{}, fmt.Errorf("pcapng: EPB capture length %d exceeds body", capLen)
+	}
+	data := make([]byte, capLen)
+	copy(data, body[20:20+capLen])
+
+	sec := tsRaw / iface.tsPerSec
+	frac := tsRaw % iface.tsPerSec
+	nsec := frac * 1_000_000_000 / iface.tsPerSec
+	return Record{
+		Time:    time.Unix(int64(sec), int64(nsec)).UTC(),
+		Data:    data,
+		OrigLen: int(origLen),
+	}, nil
+}
+
+func (r *NGReader) parseSPB(body []byte) (Record, error) {
+	if len(body) < 4 {
+		return Record{}, fmt.Errorf("pcapng: SPB body of %d bytes", len(body))
+	}
+	if len(r.ifaces) == 0 {
+		return Record{}, fmt.Errorf("pcapng: SPB before any interface description")
+	}
+	origLen := r.order.Uint32(body[0:4])
+	capLen := uint32(len(body) - 4)
+	snap := r.ifaces[0].snapLen
+	if snap != 0 && origLen < capLen {
+		capLen = origLen
+	}
+	data := make([]byte, capLen)
+	copy(data, body[4:4+capLen])
+	return Record{Data: data, OrigLen: int(origLen)}, nil
+}
+
+func pow10(n int) uint64 {
+	out := uint64(1)
+	for i := 0; i < n; i++ {
+		out *= 10
+	}
+	return out
+}
+
+// ReadAllAuto sniffs the stream format (classic pcap or pcapng) and
+// returns every record.
+func ReadAllAuto(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("pcap: sniff format: %w", err)
+	}
+	if binary.LittleEndian.Uint32(magic) == blockSHB {
+		rd, err := NewNGReader(br)
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for {
+			rec, err := rd.ReadRecord()
+			if errors.Is(err, io.EOF) {
+				return recs, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return ReadAll(br)
+}

@@ -1,0 +1,227 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// ngBuilder hand-assembles pcapng files for the reader tests.
+type ngBuilder struct {
+	buf bytes.Buffer
+}
+
+func (b *ngBuilder) block(blockType uint32, body []byte) {
+	for len(body)%4 != 0 {
+		body = append(body, 0)
+	}
+	total := uint32(12 + len(body))
+	_ = binary.Write(&b.buf, binary.LittleEndian, blockType)
+	_ = binary.Write(&b.buf, binary.LittleEndian, total)
+	b.buf.Write(body)
+	_ = binary.Write(&b.buf, binary.LittleEndian, total)
+}
+
+func (b *ngBuilder) shb() {
+	body := make([]byte, 16)
+	binary.LittleEndian.PutUint32(body[0:4], byteOrderMagic)
+	binary.LittleEndian.PutUint16(body[4:6], 1) // major
+	// section length = -1 (unknown)
+	binary.LittleEndian.PutUint64(body[8:16], ^uint64(0))
+	b.block(blockSHB, body)
+}
+
+// idb appends an interface with an optional if_tsresol option.
+func (b *ngBuilder) idb(tsresol byte, withOpt bool) {
+	body := make([]byte, 8)
+	binary.LittleEndian.PutUint16(body[0:2], LinkTypeEthernet)
+	binary.LittleEndian.PutUint32(body[4:8], 65535)
+	if withOpt {
+		opt := make([]byte, 8)
+		binary.LittleEndian.PutUint16(opt[0:2], 9) // if_tsresol
+		binary.LittleEndian.PutUint16(opt[2:4], 1)
+		opt[4] = tsresol
+		body = append(body, opt...)
+		end := make([]byte, 4) // opt_endofopt
+		body = append(body, end...)
+	}
+	b.block(blockIDB, body)
+}
+
+func (b *ngBuilder) epb(ifID uint32, ts uint64, data []byte) {
+	body := make([]byte, 20)
+	binary.LittleEndian.PutUint32(body[0:4], ifID)
+	binary.LittleEndian.PutUint32(body[4:8], uint32(ts>>32))
+	binary.LittleEndian.PutUint32(body[8:12], uint32(ts))
+	binary.LittleEndian.PutUint32(body[12:16], uint32(len(data)))
+	binary.LittleEndian.PutUint32(body[16:20], uint32(len(data)))
+	body = append(body, data...)
+	b.block(blockEPB, body)
+}
+
+func (b *ngBuilder) spb(data []byte) {
+	body := make([]byte, 4)
+	binary.LittleEndian.PutUint32(body[0:4], uint32(len(data)))
+	body = append(body, data...)
+	b.block(blockSPB, body)
+}
+
+func TestNGReadEnhancedPackets(t *testing.T) {
+	var b ngBuilder
+	b.shb()
+	b.idb(6, true) // microsecond... tsresol 6 = 10^-6
+	ts := uint64(1460000000) * 1_000_000
+	b.epb(0, ts+123, []byte{1, 2, 3, 4, 5})
+	b.epb(0, ts+456, []byte{6, 7})
+
+	recs, err := ReadAllAuto(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllAuto: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if !bytes.Equal(recs[0].Data, []byte{1, 2, 3, 4, 5}) || recs[0].OrigLen != 5 {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	want := time.Unix(1460000000, 123000).UTC()
+	if !recs[0].Time.Equal(want) {
+		t.Errorf("time = %v, want %v", recs[0].Time, want)
+	}
+}
+
+func TestNGNanosecondResolution(t *testing.T) {
+	var b ngBuilder
+	b.shb()
+	b.idb(9, true) // tsresol 9 = 10^-9
+	ts := uint64(100)*1_000_000_000 + 42
+	b.epb(0, ts, []byte{0xaa})
+	recs, err := ReadAllAuto(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllAuto: %v", err)
+	}
+	if recs[0].Time.Unix() != 100 || recs[0].Time.Nanosecond() != 42 {
+		t.Errorf("time = %v", recs[0].Time)
+	}
+}
+
+func TestNGDefaultResolution(t *testing.T) {
+	var b ngBuilder
+	b.shb()
+	b.idb(0, false) // no if_tsresol option: default microseconds
+	b.epb(0, uint64(7)*1_000_000+9, []byte{1})
+	recs, err := ReadAllAuto(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllAuto: %v", err)
+	}
+	if recs[0].Time.Unix() != 7 || recs[0].Time.Nanosecond() != 9000 {
+		t.Errorf("time = %v", recs[0].Time)
+	}
+}
+
+func TestNGSimplePacketBlock(t *testing.T) {
+	var b ngBuilder
+	b.shb()
+	b.idb(6, true)
+	b.spb([]byte{9, 8, 7, 6})
+	recs, err := ReadAllAuto(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllAuto: %v", err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Data, []byte{9, 8, 7, 6}) {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestNGSkipsUnknownBlocks(t *testing.T) {
+	var b ngBuilder
+	b.shb()
+	b.idb(6, true)
+	b.block(0x0000000b, []byte{1, 2, 3, 4, 5, 6, 7, 8}) // ISB: skipped
+	b.epb(0, 1_000_000, []byte{0x42})
+	recs, err := ReadAllAuto(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllAuto: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+}
+
+func TestNGMultipleSections(t *testing.T) {
+	var b ngBuilder
+	b.shb()
+	b.idb(6, true)
+	b.epb(0, 1_000_000, []byte{1})
+	// New section: interfaces reset.
+	b.shb()
+	b.idb(6, true)
+	b.epb(0, 2_000_000, []byte{2})
+	recs, err := ReadAllAuto(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllAuto: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+}
+
+func TestNGErrors(t *testing.T) {
+	t.Run("unknown-interface", func(t *testing.T) {
+		var b ngBuilder
+		b.shb()
+		b.epb(0, 0, []byte{1}) // no IDB seen
+		if _, err := ReadAllAuto(bytes.NewReader(b.buf.Bytes())); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("spb-before-idb", func(t *testing.T) {
+		var b ngBuilder
+		b.shb()
+		b.spb([]byte{1})
+		if _, err := ReadAllAuto(bytes.NewReader(b.buf.Bytes())); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("trailer-mismatch", func(t *testing.T) {
+		var b ngBuilder
+		b.shb()
+		b.idb(6, true)
+		raw := b.buf.Bytes()
+		// Corrupt the IDB trailer (last 4 bytes).
+		raw[len(raw)-1] ^= 0xff
+		extra := ngBuilder{}
+		extra.epb(0, 0, []byte{1})
+		raw = append(raw, extra.buf.Bytes()...)
+		if _, err := ReadAllAuto(bytes.NewReader(raw)); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		var b ngBuilder
+		b.shb()
+		b.idb(6, true)
+		b.epb(0, 0, []byte{1, 2, 3})
+		raw := b.buf.Bytes()
+		if _, err := ReadAllAuto(bytes.NewReader(raw[:len(raw)-6])); err == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestReadAllAutoClassic(t *testing.T) {
+	// Classic pcap streams still work through the auto reader.
+	var buf bytes.Buffer
+	recs := []Record{{Time: time.Unix(5, 0).UTC(), Data: []byte{1, 2, 3}}}
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllAuto(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllAuto: %v", err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0].Data, []byte{1, 2, 3}) {
+		t.Fatalf("got %+v", got)
+	}
+}

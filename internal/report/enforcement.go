@@ -1,0 +1,309 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iotsentinel/internal/netsim"
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+// latencyPairs is Table V's measurement matrix: source devices D1..D3
+// against D4, Slocal and Sremote.
+var latencyPairs = []struct{ src, dst string }{
+	{"D1", "D4"}, {"D1", "Slocal"}, {"D1", "Sremote"},
+	{"D2", "D4"}, {"D2", "Slocal"}, {"D2", "Sremote"},
+	{"D3", "D4"}, {"D3", "Slocal"}, {"D3", "Sremote"},
+}
+
+// Table5Result holds latency stats for every pair in both modes.
+type Table5Result struct {
+	// WithFiltering and WithoutFiltering are keyed by "src->dst".
+	WithFiltering    map[string]netsim.LatencyStat
+	WithoutFiltering map[string]netsim.LatencyStat
+	Iterations       int
+}
+
+// Table5 measures user-experienced latency with and without the
+// enforcement mechanism (15 iterations per pair, per the paper).
+func Table5(o Options) (*Table5Result, error) {
+	o = o.normalize()
+	res := &Table5Result{
+		WithFiltering:    make(map[string]netsim.LatencyStat),
+		WithoutFiltering: make(map[string]netsim.LatencyStat),
+		Iterations:       o.LatencyIterations,
+	}
+	for _, filtering := range []bool{true, false} {
+		lab, err := netsim.NewLab(o.Seed + 10)
+		if err != nil {
+			return nil, fmt.Errorf("table5: %w", err)
+		}
+		lab.Ctrl.SetFiltering(filtering)
+		for _, pair := range latencyPairs {
+			stat, err := lab.Net.MeasureLatency(pair.src, pair.dst, o.LatencyIterations)
+			if err != nil {
+				return nil, fmt.Errorf("table5: %s->%s: %w", pair.src, pair.dst, err)
+			}
+			key := pair.src + "->" + pair.dst
+			if filtering {
+				res.WithFiltering[key] = stat
+			} else {
+				res.WithoutFiltering[key] = stat
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats the Table V report.
+func (r *Table5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table V — Latency (ms) experienced by users (%d iterations per pair)\n\n", r.Iterations)
+	fmt.Fprintf(&b, "%-6s %-9s %22s %22s\n", "source", "dest", "filtering", "no filtering")
+	for _, pair := range latencyPairs {
+		key := pair.src + "->" + pair.dst
+		w := r.WithFiltering[key]
+		wo := r.WithoutFiltering[key]
+		fmt.Fprintf(&b, "%-6s %-9s %12.1f (±%.1f) %14.1f (±%.1f)\n",
+			pair.src, pair.dst, ms(w.Mean), ms(w.StdDev), ms(wo.Mean), ms(wo.StdDev))
+	}
+	return b.String()
+}
+
+// Table6Result holds the filtering-overhead summary.
+type Table6Result struct {
+	// LatencyOverheadD1D2 and LatencyOverheadD1D3 are relative latency
+	// increases for the two device pairs the paper reports.
+	LatencyOverheadD1D2 float64
+	LatencyOverheadD1D3 float64
+	// CPUOverhead and MemoryOverhead are relative resource increases
+	// with filtering enabled.
+	CPUOverhead    float64
+	MemoryOverhead float64
+}
+
+// Table6 derives the overhead summary from fresh measurements.
+func Table6(o Options) (*Table6Result, error) {
+	o = o.normalize()
+	measure := func(filtering bool, src, dst string) (netsim.LatencyStat, float64, float64, error) {
+		lab, err := netsim.NewLab(o.Seed + 20)
+		if err != nil {
+			return netsim.LatencyStat{}, 0, 0, err
+		}
+		lab.Ctrl.SetFiltering(filtering)
+		lab.Net.SetBackgroundFlows(100)
+		seedRules(lab, 100)
+		stat, err := lab.Net.MeasureLatency(src, dst, o.LatencyIterations)
+		if err != nil {
+			return netsim.LatencyStat{}, 0, 0, err
+		}
+		return stat, lab.Net.CPUUtilization(), lab.Net.MemoryMB(), nil
+	}
+
+	d12With, cpuWith, memWith, err := measure(true, "D1", "D2")
+	if err != nil {
+		return nil, fmt.Errorf("table6: %w", err)
+	}
+	d12Without, cpuWithout, memWithout, err := measure(false, "D1", "D2")
+	if err != nil {
+		return nil, fmt.Errorf("table6: %w", err)
+	}
+	d13With, _, _, err := measure(true, "D1", "D3")
+	if err != nil {
+		return nil, fmt.Errorf("table6: %w", err)
+	}
+	d13Without, _, _, err := measure(false, "D1", "D3")
+	if err != nil {
+		return nil, fmt.Errorf("table6: %w", err)
+	}
+	return &Table6Result{
+		LatencyOverheadD1D2: rel(d12With.Mean, d12Without.Mean),
+		LatencyOverheadD1D3: rel(d13With.Mean, d13Without.Mean),
+		CPUOverhead:         (cpuWith - cpuWithout) / cpuWithout,
+		MemoryOverhead:      (memWith - memWithout) / memWithout,
+	}, nil
+}
+
+// Render formats the Table VI report.
+func (r *Table6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI — Overhead due to filtering mechanism\n\n")
+	fmt.Fprintf(&b, "%-20s %8s   (paper)\n", "case", "overhead")
+	fmt.Fprintf(&b, "%-20s %+7.2f%%   (+5.84%%)\n", "D1D2 latency", r.LatencyOverheadD1D2*100)
+	fmt.Fprintf(&b, "%-20s %+7.2f%%   (+0.71%%)\n", "D1D3 latency", r.LatencyOverheadD1D3*100)
+	fmt.Fprintf(&b, "%-20s %+7.2f%%   (+0.63%%)\n", "CPU utilization", r.CPUOverhead*100)
+	fmt.Fprintf(&b, "%-20s %+7.2f%%   (+7.6%%)\n", "memory usage", r.MemoryOverhead*100)
+	return b.String()
+}
+
+// Fig6aResult is latency vs concurrent flows, both modes.
+type Fig6aResult struct {
+	Flows   []int
+	With    []netsim.LatencyStat
+	Without []netsim.LatencyStat
+}
+
+// Fig6a sweeps concurrent background flows (20..150) and measures
+// D1-D2 latency with and without filtering.
+func Fig6a(o Options) (*Fig6aResult, error) {
+	o = o.normalize()
+	res := &Fig6aResult{}
+	for flows := 20; flows <= 150; flows += 10 {
+		res.Flows = append(res.Flows, flows)
+	}
+	for _, filtering := range []bool{true, false} {
+		lab, err := netsim.NewLab(o.Seed + 30)
+		if err != nil {
+			return nil, fmt.Errorf("fig6a: %w", err)
+		}
+		lab.Ctrl.SetFiltering(filtering)
+		for _, flows := range res.Flows {
+			lab.Net.SetBackgroundFlows(flows)
+			stat, err := lab.Net.MeasureLatency("D1", "D2", o.LatencyIterations)
+			if err != nil {
+				return nil, fmt.Errorf("fig6a: %w", err)
+			}
+			if filtering {
+				res.With = append(res.With, stat)
+			} else {
+				res.Without = append(res.Without, stat)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats the Fig 6a series.
+func (r *Fig6aResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 6a — Latency (ms) vs concurrent flows (D1-D2)\n\n")
+	fmt.Fprintf(&b, "%6s %14s %14s\n", "flows", "w/ filtering", "w/o filtering")
+	for i, flows := range r.Flows {
+		fmt.Fprintf(&b, "%6d %14.1f %14.1f\n", flows, ms(r.With[i].Mean), ms(r.Without[i].Mean))
+	}
+	return b.String()
+}
+
+// Fig6bResult is CPU utilization vs concurrent flows.
+type Fig6bResult struct {
+	Flows   []int
+	With    []float64
+	Without []float64
+}
+
+// Fig6b sweeps concurrent flows and reports gateway CPU utilization.
+func Fig6b(o Options) (*Fig6bResult, error) {
+	o = o.normalize()
+	res := &Fig6bResult{}
+	for flows := 0; flows <= 150; flows += 10 {
+		res.Flows = append(res.Flows, flows)
+	}
+	for _, filtering := range []bool{true, false} {
+		lab, err := netsim.NewLab(o.Seed + 40)
+		if err != nil {
+			return nil, fmt.Errorf("fig6b: %w", err)
+		}
+		lab.Ctrl.SetFiltering(filtering)
+		for _, flows := range res.Flows {
+			lab.Net.SetBackgroundFlows(flows)
+			cpu := lab.Net.CPUUtilization()
+			if filtering {
+				res.With = append(res.With, cpu)
+			} else {
+				res.Without = append(res.Without, cpu)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats the Fig 6b series.
+func (r *Fig6bResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 6b — CPU utilization (%%) vs concurrent flows\n\n")
+	fmt.Fprintf(&b, "%6s %14s %14s\n", "flows", "w/ filtering", "w/o filtering")
+	for i, flows := range r.Flows {
+		fmt.Fprintf(&b, "%6d %14.1f %14.1f\n", flows, r.With[i], r.Without[i])
+	}
+	return b.String()
+}
+
+// Fig6cResult is memory consumption vs enforcement rules.
+type Fig6cResult struct {
+	Rules   []int
+	With    []float64
+	Without []float64
+	// MeasuredCacheBytes is the real Go-side rule-cache footprint at
+	// the largest rule count.
+	MeasuredCacheBytes int
+}
+
+// Fig6c sweeps the enforcement-rule count (0..20000) and reports
+// modelled gateway memory plus the measured cache footprint.
+func Fig6c(o Options) (*Fig6cResult, error) {
+	o = o.normalize()
+	res := &Fig6cResult{}
+	for rules := 0; rules <= 20000; rules += 2000 {
+		res.Rules = append(res.Rules, rules)
+	}
+	for _, filtering := range []bool{true, false} {
+		lab, err := netsim.NewLab(o.Seed + 50)
+		if err != nil {
+			return nil, fmt.Errorf("fig6c: %w", err)
+		}
+		lab.Ctrl.SetFiltering(filtering)
+		installed := 0
+		for _, rules := range res.Rules {
+			seedRules(lab, rules-installed)
+			installed = rules
+			mb := lab.Net.MemoryMB()
+			if filtering {
+				res.With = append(res.With, mb)
+			} else {
+				res.Without = append(res.Without, mb)
+			}
+		}
+		if filtering {
+			res.MeasuredCacheBytes = lab.Cache.ApproxBytes()
+		}
+	}
+	return res, nil
+}
+
+// Render formats the Fig 6c series.
+func (r *Fig6cResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 6c — Memory consumption (MB) vs enforcement rules\n\n")
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "rules", "w/ filtering", "w/o filtering")
+	for i, rules := range r.Rules {
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f\n", rules, r.With[i], r.Without[i])
+	}
+	fmt.Fprintf(&b, "\nmeasured Go rule-cache footprint at 20000 rules: %.2f MB\n",
+		float64(r.MeasuredCacheBytes)/(1024*1024))
+	return b.String()
+}
+
+// seedRules installs n additional synthetic enforcement rules.
+func seedRules(lab *netsim.Lab, n int) {
+	base := lab.Cache.Len()
+	for i := 0; i < n; i++ {
+		k := base + i
+		mac := packet.MAC{0x02, 0xcc, byte(k >> 16), byte(k >> 8), byte(k), 0x7f}
+		lab.Cache.Put(&sdn.EnforcementRule{
+			DeviceMAC:  mac,
+			Level:      sdn.Strict,
+			DeviceType: "synthetic-device",
+		})
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func rel(with, without time.Duration) float64 {
+	if without == 0 {
+		return 0
+	}
+	return float64(with-without) / float64(without)
+}

@@ -1,0 +1,142 @@
+package sdn
+
+import (
+	"sync"
+	"time"
+
+	"iotsentinel/internal/packet"
+)
+
+// Action is what the switch does with packets of a flow.
+type Action int
+
+// Flow actions.
+const (
+	ActionDrop Action = iota + 1
+	ActionForward
+)
+
+// String returns the lowercase action name.
+func (a Action) String() string {
+	if a == ActionForward {
+		return "forward"
+	}
+	return "drop"
+}
+
+// FlowEntry is one installed micro-flow: an exact-match key plus the
+// action the controller decided.
+type FlowEntry struct {
+	Key      packet.FlowKey
+	Action   Action
+	Packets  uint64
+	Bytes    uint64
+	Created  time.Time
+	LastUsed time.Time
+}
+
+// FlowTable is the switch's exact-match flow table. All methods are
+// safe for concurrent use.
+type FlowTable struct {
+	mu      sync.RWMutex
+	entries map[packet.FlowKey]*FlowEntry
+	// IdleTimeout evicts entries not used for this long (checked by
+	// Expire, driven by the caller's clock).
+	IdleTimeout time.Duration
+	// MaxFlows caps the table size, as hardware and OVS tables are
+	// bounded; 0 means unbounded. When full, Install evicts the
+	// least-recently-used entry.
+	MaxFlows int
+}
+
+// NewFlowTable returns an empty table with the given idle timeout
+// (non-positive selects 30 s, a common OpenFlow default).
+func NewFlowTable(idleTimeout time.Duration) *FlowTable {
+	if idleTimeout <= 0 {
+		idleTimeout = 30 * time.Second
+	}
+	return &FlowTable{
+		entries:     make(map[packet.FlowKey]*FlowEntry),
+		IdleTimeout: idleTimeout,
+	}
+}
+
+// Install adds or replaces the entry for key, evicting the least-
+// recently-used entry when the table is at MaxFlows capacity.
+func (t *FlowTable) Install(key packet.FlowKey, action Action, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.entries[key]; !exists && t.MaxFlows > 0 && len(t.entries) >= t.MaxFlows {
+		var lruKey packet.FlowKey
+		var lru *FlowEntry
+		for k, e := range t.entries {
+			if lru == nil || e.LastUsed.Before(lru.LastUsed) {
+				lruKey, lru = k, e
+			}
+		}
+		delete(t.entries, lruKey)
+	}
+	t.entries[key] = &FlowEntry{Key: key, Action: action, Created: now, LastUsed: now}
+}
+
+// Match looks up the flow for key and, on a hit, updates its counters.
+func (t *FlowTable) Match(key packet.FlowKey, size int, now time.Time) (Action, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok {
+		return 0, false
+	}
+	e.Packets++
+	e.Bytes += uint64(size)
+	e.LastUsed = now
+	return e.Action, true
+}
+
+// Expire removes entries idle longer than IdleTimeout and returns the
+// number evicted.
+func (t *FlowTable) Expire(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evicted := 0
+	for k, e := range t.entries {
+		if now.Sub(e.LastUsed) >= t.IdleTimeout {
+			delete(t.entries, k)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// RemoveByMAC evicts all flows involving the MAC (both directions),
+// used when a device's isolation level changes.
+func (t *FlowTable) RemoveByMAC(mac packet.MAC) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := 0
+	for k := range t.entries {
+		if k.SrcMAC == mac || k.DstMAC == mac {
+			delete(t.entries, k)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Len returns the number of installed flows.
+func (t *FlowTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Entry returns a copy of the entry for key, if installed.
+func (t *FlowTable) Entry(key packet.FlowKey) (FlowEntry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[key]
+	if !ok {
+		return FlowEntry{}, false
+	}
+	return *e, true
+}

@@ -1,0 +1,162 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+// Client is the switch-side end of the control channel: it forwards
+// packet-in events to a remote controller and returns the flow-mod
+// decisions. It satisfies the same Decider shape as a local
+// *sdn.Controller, so a data plane can swap between in-process and
+// remote control without changes.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	xid  uint32
+	// Timeout bounds each request round trip (default 5 s).
+	Timeout time.Duration
+	closed  bool
+}
+
+var _ Decider = (*Client)(nil)
+
+// Dial connects to a controller server and performs the HELLO exchange.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, Timeout: 5 * time.Second}
+	if err := WriteMessage(conn, Message{Header: Header{Type: MsgHello, XID: 1}}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	reply, err := ReadMessage(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("openflow: hello: %w", err)
+	}
+	if reply.Type != MsgHello {
+		_ = conn.Close()
+		return nil, fmt.Errorf("openflow: hello reply was %v", reply.Type)
+	}
+	c.xid = 1
+	return c, nil
+}
+
+// request performs one synchronous exchange. The protocol is strictly
+// request/response per connection, serialized by the client mutex —
+// matching how OVS blocks a table-miss on the controller verdict.
+func (c *Client) request(msgType MsgType, body []byte) (Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Message{}, errors.New("openflow: client closed")
+	}
+	c.xid++
+	xid := c.xid
+	deadline := time.Now().Add(c.Timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return Message{}, fmt.Errorf("openflow: set deadline: %w", err)
+	}
+	if err := WriteMessage(c.conn, Message{Header: Header{Type: msgType, XID: xid}, Body: body}); err != nil {
+		return Message{}, err
+	}
+	for {
+		reply, err := ReadMessage(c.conn)
+		if err != nil {
+			return Message{}, fmt.Errorf("openflow: read reply: %w", err)
+		}
+		if reply.XID != xid {
+			// Stale reply from an earlier timed-out exchange; skip.
+			continue
+		}
+		if reply.Type == MsgError {
+			return Message{}, fmt.Errorf("openflow: controller error: %s", reply.Body)
+		}
+		return reply, nil
+	}
+}
+
+// PacketIn sends the flow key to the controller and returns its
+// decision. On channel failure the client fails closed: the packet is
+// dropped, because forwarding unvetted traffic would bypass isolation.
+func (c *Client) PacketIn(key packet.FlowKey, _ time.Time) sdn.Decision {
+	reply, err := c.request(MsgPacketIn, MarshalFlowKey(key))
+	if err != nil {
+		return sdn.Decision{Action: sdn.ActionDrop, Reason: "controller unreachable: " + err.Error()}
+	}
+	if reply.Type != MsgFlowMod {
+		return sdn.Decision{Action: sdn.ActionDrop, Reason: "unexpected reply " + reply.Type.String()}
+	}
+	fm, err := UnmarshalFlowMod(reply.Body)
+	if err != nil {
+		return sdn.Decision{Action: sdn.ActionDrop, Reason: err.Error()}
+	}
+	return sdn.Decision{Action: fm.Action, Reason: fm.Reason}
+}
+
+// Echo round-trips a keepalive payload.
+func (c *Client) Echo(payload []byte) error {
+	reply, err := c.request(MsgEchoRequest, payload)
+	if err != nil {
+		return err
+	}
+	if reply.Type != MsgEchoReply {
+		return fmt.Errorf("openflow: echo reply was %v", reply.Type)
+	}
+	if string(reply.Body) != string(payload) {
+		return errors.New("openflow: echo payload mismatch")
+	}
+	return nil
+}
+
+// Close tears down the control channel.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// RemoteSwitch is a data plane whose controller lives across the
+// network: a flow table in front of a Client. The first packet of each
+// flow blocks on the remote decision; later packets take the fast path.
+type RemoteSwitch struct {
+	table  *FlowTableAdapter
+	client *Client
+}
+
+// FlowTableAdapter is a minimal alias wrapper so RemoteSwitch can share
+// sdn's flow table without importing cycles.
+type FlowTableAdapter = sdn.FlowTable
+
+// NewRemoteSwitch wires a remote-controlled data plane.
+func NewRemoteSwitch(client *Client, idleTimeout time.Duration) *RemoteSwitch {
+	return &RemoteSwitch{table: sdn.NewFlowTable(idleTimeout), client: client}
+}
+
+// Table exposes the flow table.
+func (s *RemoteSwitch) Table() *sdn.FlowTable { return s.table }
+
+// Process forwards or drops one packet, consulting the remote
+// controller on flow-table miss.
+func (s *RemoteSwitch) Process(pk *packet.Packet, now time.Time) sdn.Action {
+	key := pk.Flow()
+	if act, ok := s.table.Match(key, pk.Size, now); ok {
+		return act
+	}
+	dec := s.client.PacketIn(key, now)
+	s.table.Install(key, dec.Action, now)
+	return dec.Action
+}

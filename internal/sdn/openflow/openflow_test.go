@@ -1,0 +1,301 @@
+package openflow
+
+import (
+	"bytes"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+var (
+	ofDevA  = packet.MAC{0x02, 0xaa, 0, 0, 0, 1}
+	ofDevB  = packet.MAC{0x02, 0xaa, 0, 0, 0, 2}
+	ofGW    = packet.MAC{0x02, 0x1a, 0x11, 0, 0, 1}
+	ofIPA   = netip.MustParseAddr("192.168.1.10")
+	ofCloud = netip.MustParseAddr("52.20.1.1")
+	ofOther = netip.MustParseAddr("8.8.8.8")
+)
+
+func testKey() packet.FlowKey {
+	return packet.FlowKey{
+		SrcMAC: ofDevA, DstMAC: ofGW,
+		SrcIP: ofIPA, DstIP: ofCloud,
+		Proto: packet.TransportTCP, SrcPort: 40000, DstPort: 443,
+		Ethertype: packet.EtherTypeIPv4,
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	give := Message{Header: Header{Type: MsgPacketIn, XID: 42}, Body: []byte("abc")}
+	if err := WriteMessage(&buf, give); err != nil {
+		t.Fatalf("WriteMessage: %v", err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if got.Type != give.Type || got.XID != give.XID || string(got.Body) != "abc" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestMessageErrors(t *testing.T) {
+	// Wrong version.
+	raw := []byte{99, 1, 0, 8, 0, 0, 0, 1}
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Implausible length.
+	raw = []byte{Version, 1, 0, 4, 0, 0, 0, 1}
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("short length accepted")
+	}
+	// Truncated body.
+	raw = []byte{Version, 1, 0, 12, 0, 0, 0, 1, 0xff}
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestFlowKeyRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		give packet.FlowKey
+	}{
+		{name: "full-ipv4", give: testKey()},
+		{name: "no-ips", give: packet.FlowKey{SrcMAC: ofDevA, DstMAC: ofDevB, Ethertype: packet.EtherTypeARP}},
+		{name: "ipv6", give: packet.FlowKey{
+			SrcMAC: ofDevA, DstMAC: ofDevB,
+			SrcIP: netip.MustParseAddr("fe80::1"), DstIP: netip.MustParseAddr("ff02::fb"),
+			Proto: packet.TransportUDP, SrcPort: 5353, DstPort: 5353,
+			Ethertype: packet.EtherTypeIPv6,
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := UnmarshalFlowKey(MarshalFlowKey(tt.give))
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if got != tt.give {
+				t.Errorf("round trip: %+v != %+v", got, tt.give)
+			}
+		})
+	}
+	if _, err := UnmarshalFlowKey(make([]byte, 10)); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestFlowKeyQuick(t *testing.T) {
+	f := func(src, dst [6]byte, sport, dport uint16, v4a, v4b [4]byte) bool {
+		key := packet.FlowKey{
+			SrcMAC: packet.MAC(src), DstMAC: packet.MAC(dst),
+			SrcIP: netip.AddrFrom4(v4a), DstIP: netip.AddrFrom4(v4b),
+			Proto: packet.TransportUDP, SrcPort: sport, DstPort: dport,
+			Ethertype: packet.EtherTypeIPv4,
+		}
+		got, err := UnmarshalFlowKey(MarshalFlowKey(key))
+		return err == nil && got == key
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	fm, err := UnmarshalFlowMod(MarshalFlowMod(FlowMod{Action: sdn.ActionDrop, Reason: "strict"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Action != sdn.ActionDrop || fm.Reason != "strict" {
+		t.Errorf("fm = %+v", fm)
+	}
+	if _, err := UnmarshalFlowMod(nil); err == nil {
+		t.Error("empty flow-mod accepted")
+	}
+	if _, err := UnmarshalFlowMod([]byte{99}); err == nil {
+		t.Error("bad action accepted")
+	}
+}
+
+// newOFServer starts a controller server backed by real enforcement
+// rules and returns its address.
+func newOFServer(t *testing.T) (string, *sdn.Controller) {
+	t.Helper()
+	cache := sdn.NewRuleCache()
+	ctrl := sdn.NewController(cache, netip.Prefix{})
+	ctrl.AddInfrastructure(ofGW)
+	cache.Put(&sdn.EnforcementRule{DeviceMAC: ofDevA, Level: sdn.Restricted,
+		PermittedIPs: []netip.Addr{ofCloud}})
+	srv := NewServer(ctrl)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return addr.String(), ctrl
+}
+
+func TestClientServerDecisions(t *testing.T) {
+	addr, ctrl := newOFServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+
+	// Remote decisions must equal local ones.
+	keys := []packet.FlowKey{
+		testKey(), // restricted -> permitted cloud: forward
+		{SrcMAC: ofDevA, DstMAC: ofGW, SrcIP: ofIPA, DstIP: ofOther,
+			Proto: packet.TransportTCP, SrcPort: 40001, DstPort: 443,
+			Ethertype: packet.EtherTypeIPv4}, // not permitted: drop
+	}
+	for i, key := range keys {
+		local := ctrl.PacketIn(key, time.Now())
+		remote := client.PacketIn(key, time.Now())
+		if local.Action != remote.Action {
+			t.Errorf("key %d: local %v, remote %v (%s)", i, local.Action, remote.Action, remote.Reason)
+		}
+		if remote.Reason == "" {
+			t.Errorf("key %d: empty remote reason", i)
+		}
+	}
+}
+
+func TestClientEcho(t *testing.T) {
+	addr, _ := newOFServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+	if err := client.Echo([]byte("keepalive")); err != nil {
+		t.Errorf("Echo: %v", err)
+	}
+}
+
+func TestClientFailsClosed(t *testing.T) {
+	addr, _ := newOFServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	_ = client.Close()
+	dec := client.PacketIn(testKey(), time.Now())
+	if dec.Action != sdn.ActionDrop {
+		t.Errorf("closed client forwarded: %+v", dec)
+	}
+}
+
+func TestRemoteSwitchFastPath(t *testing.T) {
+	addr, ctrl := newOFServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+	sw := NewRemoteSwitch(client, time.Minute)
+
+	pk := packet.NewTLSClientHello(ofDevA, ofGW, ofIPA, ofCloud, 40000, 100)
+	now := time.Unix(0, 0)
+	if act := sw.Process(pk, now); act != sdn.ActionForward {
+		t.Fatalf("first packet: %v", act)
+	}
+	before := ctrl.PacketIns()
+	for i := 0; i < 10; i++ {
+		if act := sw.Process(pk, now.Add(time.Duration(i)*time.Second)); act != sdn.ActionForward {
+			t.Fatalf("fast path packet %d: %v", i, act)
+		}
+	}
+	if got := ctrl.PacketIns(); got != before {
+		t.Errorf("fast path still crossed the wire: %d -> %d", before, got)
+	}
+	if sw.Table().Len() != 1 {
+		t.Errorf("table len = %d", sw.Table().Len())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := newOFServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := Dial(addr)
+			if err != nil {
+				t.Errorf("worker %d dial: %v", w, err)
+				return
+			}
+			defer func() { _ = client.Close() }()
+			for i := 0; i < 50; i++ {
+				key := testKey()
+				key.SrcPort = uint16(40000 + w*100 + i)
+				dec := client.PacketIn(key, time.Now())
+				if dec.Action != sdn.ActionForward {
+					t.Errorf("worker %d req %d: %v (%s)", w, i, dec.Action, dec.Reason)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestServerRejectsBadHello(t *testing.T) {
+	addr, _ := newOFServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	// Send a packet-in before hello: the server must drop the
+	// connection.
+	if err := WriteMessage(conn, Message{Header: Header{Type: MsgPacketIn, XID: 9},
+		Body: MarshalFlowKey(testKey())}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadMessage(conn); err == nil {
+		t.Error("server answered a connection that skipped HELLO")
+	}
+}
+
+func TestServerErrorOnMalformedPacketIn(t *testing.T) {
+	addr, _ := newOFServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	// Raw malformed body through the request path.
+	reply, err := client.request(MsgPacketIn, []byte{1, 2, 3})
+	if err == nil {
+		t.Errorf("malformed packet-in accepted: %+v", reply)
+	}
+	if err != nil && !strings.Contains(err.Error(), "flow key") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The channel survives the error: a good request still works.
+	dec := client.PacketIn(testKey(), time.Now())
+	if dec.Action != sdn.ActionForward {
+		t.Errorf("channel broken after error: %+v", dec)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgHello.String() != "hello" || MsgFlowMod.String() != "flow-mod" ||
+		MsgType(99).String() == "" {
+		t.Error("MsgType names wrong")
+	}
+}

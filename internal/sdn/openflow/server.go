@@ -1,0 +1,175 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+// Decider is the controller-side capability the server exposes over the
+// wire; *sdn.Controller satisfies it.
+type Decider interface {
+	PacketIn(key packet.FlowKey, now time.Time) sdn.Decision
+}
+
+var _ Decider = (*sdn.Controller)(nil)
+
+// Server speaks the control protocol on behalf of a Decider: it is the
+// network face of the Floodlight-style controller.
+type Server struct {
+	decider Decider
+	// Logf, if set, receives per-connection diagnostics; defaults to
+	// discarding them.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server decided by d.
+func NewServer(d Decider) *Server {
+	return &Server{
+		decider: d,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts accepting switch connections on addr and returns the
+// bound address (useful with ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return nil, errors.New("openflow: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// serveConn performs the HELLO exchange then answers requests until the
+// peer disconnects or misbehaves.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	logf := s.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// HELLO exchange: peer first, then ours.
+	msg, err := ReadMessage(conn)
+	if err != nil || msg.Type != MsgHello {
+		logf("openflow server: bad hello from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if err := WriteMessage(conn, Message{Header: Header{Type: MsgHello, XID: msg.XID}}); err != nil {
+		logf("openflow server: hello reply: %v", err)
+		return
+	}
+
+	for {
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				logf("openflow server: read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch msg.Type {
+		case MsgEchoRequest:
+			if err := WriteMessage(conn, Message{
+				Header: Header{Type: MsgEchoReply, XID: msg.XID},
+				Body:   msg.Body,
+			}); err != nil {
+				return
+			}
+		case MsgPacketIn:
+			key, err := UnmarshalFlowKey(msg.Body)
+			if err != nil {
+				_ = WriteMessage(conn, Message{
+					Header: Header{Type: MsgError, XID: msg.XID},
+					Body:   []byte(err.Error()),
+				})
+				continue
+			}
+			dec := s.decider.PacketIn(key, time.Now())
+			if err := WriteMessage(conn, Message{
+				Header: Header{Type: MsgFlowMod, XID: msg.XID},
+				Body:   MarshalFlowMod(FlowMod{Action: dec.Action, Reason: dec.Reason}),
+			}); err != nil {
+				return
+			}
+		default:
+			_ = WriteMessage(conn, Message{
+				Header: Header{Type: MsgError, XID: msg.XID},
+				Body:   []byte("unexpected message " + msg.Type.String()),
+			})
+		}
+	}
+}
+
+// Close stops the listener, closes every connection and waits for all
+// connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,218 @@
+// Package openflow implements a compact OpenFlow-1.0-inspired binary
+// control channel between the data plane (Open vSwitch in the paper)
+// and the controller (Floodlight): HELLO version negotiation, ECHO
+// keepalives, PACKET_IN events carrying the flow key of an unmatched
+// packet, and FLOW_MOD responses carrying the controller's decision.
+//
+// The paper runs the two components as separate processes (OVS on the
+// gateway, the Floodlight module either co-located or on a separate
+// machine for the OpenWRT deployment); this package reproduces that
+// split so the enforcement plane works across a real network boundary
+// instead of only in-process.
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+// Version is the protocol version byte exchanged in HELLO.
+const Version = 1
+
+// MsgType identifies a control message.
+type MsgType uint8
+
+// Message types (a subset of OpenFlow 1.0's, renumbered).
+const (
+	MsgHello MsgType = iota + 1
+	MsgEchoRequest
+	MsgEchoReply
+	MsgPacketIn
+	MsgFlowMod
+	MsgError
+)
+
+// String returns the message-type name.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgEchoRequest:
+		return "echo-request"
+	case MsgEchoReply:
+		return "echo-reply"
+	case MsgPacketIn:
+		return "packet-in"
+	case MsgFlowMod:
+		return "flow-mod"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+const (
+	headerLen = 8
+	// maxBody bounds message bodies against corrupt peers.
+	maxBody = 1 << 16
+)
+
+// Header is the fixed message prefix: version, type, total length, xid.
+type Header struct {
+	Type MsgType
+	XID  uint32
+}
+
+// Message is one decoded control message.
+type Message struct {
+	Header
+	Body []byte
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, msg Message) error {
+	if len(msg.Body) > maxBody {
+		return fmt.Errorf("openflow: body of %d bytes too large", len(msg.Body))
+	}
+	buf := make([]byte, headerLen+len(msg.Body))
+	buf[0] = Version
+	buf[1] = byte(msg.Type)
+	binary.BigEndian.PutUint16(buf[2:4], uint16(headerLen+len(msg.Body)))
+	binary.BigEndian.PutUint32(buf[4:8], msg.XID)
+	copy(buf[headerLen:], msg.Body)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("openflow: write %v: %w", msg.Type, err)
+	}
+	return nil
+}
+
+// ReadMessage reads and validates one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	if hdr[0] != Version {
+		return Message{}, fmt.Errorf("openflow: unsupported version %d", hdr[0])
+	}
+	total := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if total < headerLen || total-headerLen > maxBody {
+		return Message{}, fmt.Errorf("openflow: implausible length %d", total)
+	}
+	msg := Message{Header: Header{
+		Type: MsgType(hdr[1]),
+		XID:  binary.BigEndian.Uint32(hdr[4:8]),
+	}}
+	if total > headerLen {
+		msg.Body = make([]byte, total-headerLen)
+		if _, err := io.ReadFull(r, msg.Body); err != nil {
+			return Message{}, fmt.Errorf("openflow: read body: %w", err)
+		}
+	}
+	return msg, nil
+}
+
+// Flow-key wire layout (fixed 50 bytes):
+//
+//	srcMAC(6) dstMAC(6) srcIP(16) dstIP(16) ipFlags(1)
+//	proto(1) srcPort(2) dstPort(2)
+//
+// ipFlags bit0: srcIP valid+IPv4, bit1: srcIP valid+IPv6,
+//
+//	bit2: dstIP valid+IPv4, bit3: dstIP valid+IPv6.
+//
+// followed by ethertype(2) → 52 bytes total.
+const flowKeyLen = 52
+
+// MarshalFlowKey encodes a flow key.
+func MarshalFlowKey(key packet.FlowKey) []byte {
+	buf := make([]byte, flowKeyLen)
+	copy(buf[0:6], key.SrcMAC[:])
+	copy(buf[6:12], key.DstMAC[:])
+	var flags byte
+	putAddr := func(dst []byte, a netip.Addr, v4bit, v6bit byte) {
+		if !a.IsValid() {
+			return
+		}
+		b := a.As16()
+		copy(dst, b[:])
+		if a.Is4() {
+			flags |= v4bit
+		} else {
+			flags |= v6bit
+		}
+	}
+	putAddr(buf[12:28], key.SrcIP, 1, 2)
+	putAddr(buf[28:44], key.DstIP, 4, 8)
+	buf[44] = flags
+	buf[45] = byte(key.Proto)
+	binary.BigEndian.PutUint16(buf[46:48], key.SrcPort)
+	binary.BigEndian.PutUint16(buf[48:50], key.DstPort)
+	binary.BigEndian.PutUint16(buf[50:52], key.Ethertype)
+	return buf
+}
+
+// UnmarshalFlowKey decodes a flow key.
+func UnmarshalFlowKey(b []byte) (packet.FlowKey, error) {
+	if len(b) < flowKeyLen {
+		return packet.FlowKey{}, fmt.Errorf("openflow: flow key of %d bytes, want %d", len(b), flowKeyLen)
+	}
+	var key packet.FlowKey
+	copy(key.SrcMAC[:], b[0:6])
+	copy(key.DstMAC[:], b[6:12])
+	flags := b[44]
+	getAddr := func(src []byte, v4bit, v6bit byte) netip.Addr {
+		switch {
+		case flags&v4bit != 0:
+			var a [16]byte
+			copy(a[:], src)
+			return netip.AddrFrom16(a).Unmap()
+		case flags&v6bit != 0:
+			var a [16]byte
+			copy(a[:], src)
+			return netip.AddrFrom16(a)
+		default:
+			return netip.Addr{}
+		}
+	}
+	key.SrcIP = getAddr(b[12:28], 1, 2)
+	key.DstIP = getAddr(b[28:44], 4, 8)
+	key.Proto = packet.TransportProto(b[45])
+	key.SrcPort = binary.BigEndian.Uint16(b[46:48])
+	key.DstPort = binary.BigEndian.Uint16(b[48:50])
+	key.Ethertype = binary.BigEndian.Uint16(b[50:52])
+	return key, nil
+}
+
+// FlowMod is the controller's decision for one packet-in: the action
+// plus the reason string for audit logs.
+type FlowMod struct {
+	Action sdn.Action
+	Reason string
+}
+
+// MarshalFlowMod encodes a flow-mod body.
+func MarshalFlowMod(fm FlowMod) []byte {
+	out := make([]byte, 1+len(fm.Reason))
+	out[0] = byte(fm.Action)
+	copy(out[1:], fm.Reason)
+	return out
+}
+
+// UnmarshalFlowMod decodes a flow-mod body.
+func UnmarshalFlowMod(b []byte) (FlowMod, error) {
+	if len(b) < 1 {
+		return FlowMod{}, fmt.Errorf("openflow: empty flow-mod")
+	}
+	act := sdn.Action(b[0])
+	if act != sdn.ActionForward && act != sdn.ActionDrop {
+		return FlowMod{}, fmt.Errorf("openflow: unknown action %d", b[0])
+	}
+	return FlowMod{Action: act, Reason: string(b[1:])}, nil
+}

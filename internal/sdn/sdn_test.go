@@ -1,0 +1,402 @@
+package sdn
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iotsentinel/internal/packet"
+)
+
+var (
+	devA  = packet.MAC{0x02, 0xaa, 0, 0, 0, 1}
+	devB  = packet.MAC{0x02, 0xaa, 0, 0, 0, 2}
+	devC  = packet.MAC{0x02, 0xaa, 0, 0, 0, 3}
+	gwMAC = packet.MAC{0x02, 0x1a, 0x11, 0, 0, 1}
+	ipA   = netip.MustParseAddr("192.168.1.10")
+	ipB   = netip.MustParseAddr("192.168.1.11")
+	ipC   = netip.MustParseAddr("192.168.1.12")
+	cloud = netip.MustParseAddr("52.20.1.1")
+	other = netip.MustParseAddr("8.8.8.8")
+)
+
+func newTestController() *Controller {
+	cache := NewRuleCache()
+	ctrl := NewController(cache, netip.Prefix{})
+	ctrl.AddInfrastructure(gwMAC)
+	cache.Put(&EnforcementRule{DeviceMAC: devA, Level: Strict, DeviceType: "unknown-cam"})
+	cache.Put(&EnforcementRule{DeviceMAC: devB, Level: Restricted,
+		PermittedIPs: []netip.Addr{cloud}, DeviceType: "plug"})
+	cache.Put(&EnforcementRule{DeviceMAC: devC, Level: Trusted, DeviceType: "hub"})
+	return ctrl
+}
+
+func flow(src, dst packet.MAC, srcIP, dstIP netip.Addr) packet.FlowKey {
+	return packet.FlowKey{
+		SrcMAC: src, DstMAC: dst, SrcIP: srcIP, DstIP: dstIP,
+		Proto: packet.TransportTCP, SrcPort: 40000, DstPort: 443,
+		Ethertype: packet.EtherTypeIPv4,
+	}
+}
+
+func TestIsolationLevelString(t *testing.T) {
+	if Strict.String() != "strict" || Restricted.String() != "restricted" || Trusted.String() != "trusted" {
+		t.Error("level names wrong")
+	}
+	if OverlayUntrusted.String() != "untrusted" || OverlayTrusted.String() != "trusted" {
+		t.Error("overlay names wrong")
+	}
+}
+
+func TestControllerDecisions(t *testing.T) {
+	ctrl := newTestController()
+	now := time.Unix(0, 0)
+	tests := []struct {
+		name string
+		key  packet.FlowKey
+		want Action
+	}{
+		{"strict-to-internet", flow(devA, gwMAC, ipA, other), ActionDrop},
+		{"strict-to-untrusted-peer", flow(devA, devB, ipA, ipB), ActionForward},
+		{"strict-to-trusted-peer", flow(devA, devC, ipA, ipC), ActionDrop},
+		{"restricted-to-permitted-cloud", flow(devB, gwMAC, ipB, cloud), ActionForward},
+		{"restricted-to-other-internet", flow(devB, gwMAC, ipB, other), ActionDrop},
+		{"restricted-to-untrusted-peer", flow(devB, devA, ipB, ipA), ActionForward},
+		{"restricted-to-trusted-peer", flow(devB, devC, ipB, ipC), ActionDrop},
+		{"trusted-to-internet", flow(devC, gwMAC, ipC, other), ActionForward},
+		{"trusted-to-untrusted-peer", flow(devC, devA, ipC, ipA), ActionDrop},
+		{"unknown-device-to-internet", flow(packet.MAC{9, 9, 9, 9, 9, 9}, gwMAC, ipA, other), ActionDrop},
+		{"unknown-device-to-untrusted", flow(packet.MAC{8, 9, 9, 9, 9, 9}, devA, ipA, ipB), ActionForward},
+		{"infra-source", flow(gwMAC, devA, ipB, ipA), ActionForward},
+		{"to-infra", flow(devA, gwMAC, ipA, netip.MustParseAddr("192.168.1.1")), ActionForward},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dec := ctrl.PacketIn(tt.key, now)
+			if dec.Action != tt.want {
+				t.Errorf("PacketIn = %v (%s), want %v", dec.Action, dec.Reason, tt.want)
+			}
+			if dec.Reason == "" {
+				t.Error("decision must carry a reason")
+			}
+		})
+	}
+}
+
+func TestBroadcastAlwaysForwarded(t *testing.T) {
+	ctrl := newTestController()
+	key := packet.FlowKey{
+		SrcMAC: devA,
+		DstMAC: packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		Proto:  packet.TransportUDP, SrcPort: 68, DstPort: 67,
+	}
+	if dec := ctrl.PacketIn(key, time.Unix(0, 0)); dec.Action != ActionForward {
+		t.Errorf("broadcast dropped: %s", dec.Reason)
+	}
+	mcast := key
+	mcast.DstMAC = packet.MAC{0x01, 0x00, 0x5e, 0, 0, 0xfb}
+	if dec := ctrl.PacketIn(mcast, time.Unix(0, 0)); dec.Action != ActionForward {
+		t.Errorf("multicast dropped: %s", dec.Reason)
+	}
+}
+
+func TestFilteringDisabled(t *testing.T) {
+	ctrl := newTestController()
+	ctrl.SetFiltering(false)
+	if ctrl.Filtering() {
+		t.Fatal("Filtering() = true after disable")
+	}
+	key := flow(devA, gwMAC, ipA, other) // would be dropped when filtering
+	if dec := ctrl.PacketIn(key, time.Unix(0, 0)); dec.Action != ActionForward {
+		t.Errorf("disabled filtering still dropped: %s", dec.Reason)
+	}
+}
+
+func TestSwitchFastPath(t *testing.T) {
+	ctrl := newTestController()
+	sw := NewSwitch(ctrl, time.Minute)
+	pk := packet.NewTLSClientHello(devB, gwMAC, ipB, cloud, 40000, 100)
+	now := time.Unix(100, 0)
+
+	if act := sw.Process(pk, now); act != ActionForward {
+		t.Fatalf("first packet action = %v", act)
+	}
+	before := ctrl.PacketIns()
+	for i := 0; i < 5; i++ {
+		if act := sw.Process(pk, now.Add(time.Duration(i)*time.Second)); act != ActionForward {
+			t.Fatalf("fast-path packet %d action = %v", i, act)
+		}
+	}
+	if got := ctrl.PacketIns(); got != before {
+		t.Errorf("fast path still hit controller: %d -> %d packet-ins", before, got)
+	}
+	st := sw.Stats()
+	if st.Forwarded != 6 || st.PacketIns != 1 || st.TableHits != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSwitchDropCounted(t *testing.T) {
+	ctrl := newTestController()
+	sw := NewSwitch(ctrl, time.Minute)
+	pk := packet.NewTLSClientHello(devA, gwMAC, ipA, other, 40000, 100)
+	if act := sw.Process(pk, time.Unix(0, 0)); act != ActionDrop {
+		t.Fatalf("strict-to-internet forwarded")
+	}
+	if st := sw.Stats(); st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSwitchInvalidateDevice(t *testing.T) {
+	ctrl := newTestController()
+	sw := NewSwitch(ctrl, time.Minute)
+	now := time.Unix(0, 0)
+	sw.Process(packet.NewTLSClientHello(devA, gwMAC, ipA, other, 40000, 10), now)
+	sw.Process(packet.NewTLSClientHello(devB, gwMAC, ipB, cloud, 40001, 10), now)
+	if sw.Table().Len() != 2 {
+		t.Fatalf("table len = %d", sw.Table().Len())
+	}
+	// devA is promoted to Trusted: old flows must be invalidated and
+	// the next packet re-decided.
+	ctrl.Rules().Put(&EnforcementRule{DeviceMAC: devA, Level: Trusted})
+	if n := sw.InvalidateDevice(devA); n != 1 {
+		t.Errorf("invalidated %d flows, want 1", n)
+	}
+	if act := sw.Process(packet.NewTLSClientHello(devA, gwMAC, ipA, other, 40000, 10), now); act != ActionForward {
+		t.Error("promoted device still dropped")
+	}
+}
+
+func TestFlowTableExpiry(t *testing.T) {
+	ft := NewFlowTable(10 * time.Second)
+	base := time.Unix(0, 0)
+	k1 := flow(devA, devB, ipA, ipB)
+	k2 := flow(devB, devA, ipB, ipA)
+	ft.Install(k1, ActionForward, base)
+	ft.Install(k2, ActionForward, base)
+	// k2 stays fresh via a match at t+8s.
+	ft.Match(k2, 100, base.Add(8*time.Second))
+	if n := ft.Expire(base.Add(12 * time.Second)); n != 1 {
+		t.Errorf("expired %d flows, want 1", n)
+	}
+	if _, ok := ft.Entry(k2); !ok {
+		t.Error("fresh flow evicted")
+	}
+}
+
+func TestFlowEntryCounters(t *testing.T) {
+	ft := NewFlowTable(0)
+	if ft.IdleTimeout != 30*time.Second {
+		t.Errorf("default idle timeout = %v", ft.IdleTimeout)
+	}
+	k := flow(devA, devB, ipA, ipB)
+	now := time.Unix(5, 0)
+	ft.Install(k, ActionForward, now)
+	ft.Match(k, 100, now.Add(time.Second))
+	ft.Match(k, 200, now.Add(2*time.Second))
+	e, ok := ft.Entry(k)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Packets != 2 || e.Bytes != 300 {
+		t.Errorf("counters = %d pkts / %d bytes", e.Packets, e.Bytes)
+	}
+	if !e.LastUsed.Equal(now.Add(2 * time.Second)) {
+		t.Errorf("LastUsed = %v", e.LastUsed)
+	}
+}
+
+func TestRuleCache(t *testing.T) {
+	c := NewRuleCache()
+	r := &EnforcementRule{DeviceMAC: devA, Level: Restricted,
+		PermittedIPs: []netip.Addr{cloud}, DeviceType: "plug"}
+	c.Put(r)
+	got, ok := c.Get(devA)
+	if !ok {
+		t.Fatal("rule missing")
+	}
+	if got.Level != Restricted || !got.Permits(cloud) || got.Permits(other) {
+		t.Errorf("rule = %+v", got)
+	}
+	if c.Len() != 1 || c.ApproxBytes() <= 0 {
+		t.Errorf("len=%d bytes=%d", c.Len(), c.ApproxBytes())
+	}
+	// Replacement must not leak memory accounting.
+	before := c.ApproxBytes()
+	c.Put(r)
+	if c.ApproxBytes() != before || c.Len() != 1 {
+		t.Errorf("replacement changed accounting: %d -> %d", before, c.ApproxBytes())
+	}
+	if !c.Remove(devA) || c.Len() != 0 || c.ApproxBytes() != 0 {
+		t.Errorf("remove failed: len=%d bytes=%d", c.Len(), c.ApproxBytes())
+	}
+	if c.Remove(devA) {
+		t.Error("double remove succeeded")
+	}
+	if _, ok := c.Get(devA); ok {
+		t.Error("removed rule still present")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestRuleCacheSnapshotSorted(t *testing.T) {
+	c := NewRuleCache()
+	c.Put(&EnforcementRule{DeviceMAC: devB, Level: Strict})
+	c.Put(&EnforcementRule{DeviceMAC: devA, Level: Strict})
+	rules := c.Rules()
+	if len(rules) != 2 || rules[0].DeviceMAC != devA {
+		t.Errorf("snapshot = %v", rules)
+	}
+}
+
+func TestRuleCacheMemoryGrowsLinearly(t *testing.T) {
+	// Fig 6c property: memory grows linearly with rule count.
+	c := NewRuleCache()
+	var at1000, at2000 int
+	for i := 0; i < 2000; i++ {
+		mac := packet.MAC{0x02, 0, byte(i >> 16), byte(i >> 8), byte(i), 1}
+		c.Put(&EnforcementRule{DeviceMAC: mac, Level: Strict})
+		if i == 999 {
+			at1000 = c.ApproxBytes()
+		}
+	}
+	at2000 = c.ApproxBytes()
+	if at2000 <= at1000 || at2000 > at1000*21/10 {
+		t.Errorf("memory not linear: %d at 1000, %d at 2000", at1000, at2000)
+	}
+}
+
+func TestRuleHashStable(t *testing.T) {
+	f := func(mac [6]byte) bool {
+		r1 := &EnforcementRule{DeviceMAC: packet.MAC(mac), Level: Strict}
+		r2 := &EnforcementRule{DeviceMAC: packet.MAC(mac), Level: Trusted,
+			PermittedIPs: []netip.Addr{cloud}}
+		// Hash depends only on the MAC, so updates address the same slot.
+		return r1.Hash() == r2.Hash() && r1.Hash() == macHash(packet.MAC(mac))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionForward.String() != "forward" || ActionDrop.String() != "drop" {
+		t.Error("action names wrong")
+	}
+}
+
+func TestTrafficMonitor(t *testing.T) {
+	ctrl := newTestController()
+	sw := NewSwitch(ctrl, time.Minute)
+	mon := NewTrafficMonitor()
+	sw.SetMonitor(mon)
+	now := time.Unix(100, 0)
+
+	// devB (restricted): one permitted flow, one dropped flow.
+	okPkt := packet.NewTLSClientHello(devB, gwMAC, ipB, cloud, 40000, 100)
+	badPkt := packet.NewTLSClientHello(devB, gwMAC, ipB, other, 40001, 100)
+	sw.Process(okPkt, now)
+	sw.Process(okPkt, now.Add(time.Second))
+	sw.Process(badPkt, now.Add(2*time.Second))
+	// devC (trusted): big transfer.
+	bigPkt := packet.NewTCP(devC, gwMAC, ipC, other, 40002, 443, make([]byte, 1200))
+	sw.Process(bigPkt, now.Add(3*time.Second))
+
+	st, ok := mon.Device(devB)
+	if !ok {
+		t.Fatal("devB untracked")
+	}
+	if st.Packets != 3 || st.Dropped != 1 || st.Destinations != 2 {
+		t.Errorf("devB stats = %+v", st)
+	}
+	if !st.LastSeen.After(st.FirstSeen) {
+		t.Error("timestamps not updated")
+	}
+
+	top := mon.TopTalkers(1)
+	if len(top) != 1 || top[0].MAC != devC {
+		t.Errorf("top talker = %+v", top)
+	}
+	if mon.Len() != 2 {
+		t.Errorf("Len = %d", mon.Len())
+	}
+	mon.Forget(devB)
+	if _, ok := mon.Device(devB); ok || mon.Len() != 1 {
+		t.Error("Forget failed")
+	}
+	if _, ok := mon.Device(devA); ok {
+		t.Error("untracked device reported")
+	}
+	sw.SetMonitor(nil) // detaching must not panic subsequent packets
+	sw.Process(okPkt, now.Add(4*time.Second))
+}
+
+func TestFlowTableCapacityEviction(t *testing.T) {
+	ft := NewFlowTable(time.Minute)
+	ft.MaxFlows = 3
+	base := time.Unix(0, 0)
+	keys := make([]packet.FlowKey, 4)
+	for i := range keys {
+		keys[i] = flow(packet.MAC{byte(i), 1, 1, 1, 1, 1}, devB, ipA, ipB)
+		ft.Install(keys[i], ActionForward, base.Add(time.Duration(i)*time.Second))
+	}
+	if ft.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (capacity)", ft.Len())
+	}
+	// keys[0] is the LRU and must be gone; the rest remain.
+	if _, ok := ft.Entry(keys[0]); ok {
+		t.Error("LRU entry not evicted")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := ft.Entry(k); !ok {
+			t.Errorf("entry %v evicted", k.SrcMAC)
+		}
+	}
+	// Touching keys[1] makes keys[2] the LRU for the next install.
+	ft.Match(keys[1], 10, base.Add(time.Hour))
+	extra := flow(packet.MAC{9, 1, 1, 1, 1, 1}, devB, ipA, ipB)
+	ft.Install(extra, ActionForward, base.Add(2*time.Hour))
+	if _, ok := ft.Entry(keys[1]); !ok {
+		t.Error("recently-used entry evicted")
+	}
+	if _, ok := ft.Entry(keys[2]); ok {
+		t.Error("LRU after touch not evicted")
+	}
+	// Reinstalling an existing key at capacity must not evict anyone.
+	ft.Install(extra, ActionDrop, base.Add(3*time.Hour))
+	if ft.Len() != 3 {
+		t.Errorf("len after reinstall = %d", ft.Len())
+	}
+}
+
+func TestIPv6LinkLocalIsLocal(t *testing.T) {
+	ctrl := newTestController()
+	// Two strict devices exchanging IPv6 link-local unicast stay in
+	// the untrusted overlay: local traffic, not Internet-bound.
+	key := packet.FlowKey{
+		SrcMAC: devA, DstMAC: devB,
+		SrcIP: netip.MustParseAddr("fe80::1"), DstIP: netip.MustParseAddr("fe80::2"),
+		Proto: packet.TransportUDP, SrcPort: 5353, DstPort: 5353,
+		Ethertype: packet.EtherTypeIPv6,
+	}
+	if dec := ctrl.PacketIn(key, time.Unix(0, 0)); dec.Action != ActionForward {
+		t.Errorf("link-local unicast between untrusted peers dropped: %s", dec.Reason)
+	}
+	// A strict device reaching a global IPv6 address is Internet-bound.
+	key.DstIP = netip.MustParseAddr("2001:4860:4860::8888")
+	key.DstMAC = gwMAC
+	if dec := ctrl.PacketIn(key, time.Unix(0, 0)); dec.Action != ActionDrop {
+		t.Errorf("strict device reached global IPv6: %s", dec.Reason)
+	}
+	// Unique-local space counts as local too.
+	key.DstIP = netip.MustParseAddr("fd00::42")
+	key.DstMAC = devB
+	if dec := ctrl.PacketIn(key, time.Unix(0, 0)); dec.Action != ActionForward {
+		t.Errorf("unique-local dropped: %s", dec.Reason)
+	}
+}

@@ -1,0 +1,31 @@
+// Command cvprobe is a fast development probe: one cross-validation
+// pass over the full dataset with per-type accuracies.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/eval"
+	"iotsentinel/internal/fingerprint"
+)
+
+func main() {
+	ds := devices.GenerateDataset(20, 1)
+	cds := make(map[core.TypeID][]fingerprint.Fingerprint, len(ds))
+	for k, v := range ds {
+		cds[core.TypeID(k)] = v
+	}
+	res, err := eval.CrossValidate(cds, eval.CVConfig{Folds: 10, Repeats: 2, Seed: 7})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("global=%.3f multi=%.2f avgED=%.1f\n",
+		res.Confusion.Global(), res.MultiMatchRate, res.AvgEditDistances)
+	for _, t := range res.Confusion.Types() {
+		fmt.Printf("%-20s %.2f\n", t, res.Confusion.Accuracy(t))
+	}
+}

@@ -1,0 +1,112 @@
+package vulndb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSeverityString(t *testing.T) {
+	tests := []struct {
+		give Severity
+		want string
+	}{
+		{SeverityLow, "low"},
+		{SeverityMedium, "medium"},
+		{SeverityHigh, "high"},
+		{SeverityCritical, "critical"},
+		{Severity(42), "severity(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Severity(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAddAndQuery(t *testing.T) {
+	db := New()
+	if db.Len() != 0 {
+		t.Fatalf("new DB has %d records", db.Len())
+	}
+	db.Add(Record{ID: "A-1", DeviceType: "Cam", Severity: SeverityLow})
+	db.Add(Record{ID: "A-2", DeviceType: "Cam", Severity: SeverityCritical})
+	db.Add(Record{ID: "A-3", DeviceType: "Plug", Severity: SeverityMedium})
+
+	recs := db.Query("Cam")
+	if len(recs) != 2 {
+		t.Fatalf("Query(Cam) = %d records", len(recs))
+	}
+	if recs[0].Severity != SeverityCritical {
+		t.Errorf("records not sorted by severity: %+v", recs)
+	}
+	// Case-insensitive lookup.
+	if len(db.Query("cam")) != 2 || len(db.Query("CAM")) != 2 {
+		t.Error("query must be case-insensitive")
+	}
+	if len(db.Query("Toaster")) != 0 {
+		t.Error("unknown type returned records")
+	}
+}
+
+func TestIsVulnerableAndMaxSeverity(t *testing.T) {
+	db := New()
+	db.Add(Record{ID: "B-1", DeviceType: "Cam", Severity: SeverityMedium})
+	db.Add(Record{ID: "B-2", DeviceType: "Cam", Severity: SeverityHigh})
+	if !db.IsVulnerable("Cam") || db.IsVulnerable("Plug") {
+		t.Error("IsVulnerable wrong")
+	}
+	if got := db.MaxSeverity("Cam"); got != SeverityHigh {
+		t.Errorf("MaxSeverity = %v", got)
+	}
+	if got := db.MaxSeverity("Plug"); got != 0 {
+		t.Errorf("MaxSeverity(unknown) = %v, want 0", got)
+	}
+}
+
+func TestQueryReturnsCopy(t *testing.T) {
+	db := New()
+	db.Add(Record{ID: "C-1", DeviceType: "Cam", Severity: SeverityLow})
+	recs := db.Query("Cam")
+	recs[0].ID = "mutated"
+	if db.Query("Cam")[0].ID != "C-1" {
+		t.Error("Query exposed internal state")
+	}
+}
+
+func TestNewDefault(t *testing.T) {
+	db := NewDefault()
+	if db.Len() < 8 {
+		t.Fatalf("default DB has only %d records", db.Len())
+	}
+	// The kettle attack the paper cites must be on file.
+	if !db.IsVulnerable("iKettle2") {
+		t.Error("iKettle2 missing from default DB")
+	}
+	if db.MaxSeverity("EdnetCam") != SeverityCritical {
+		t.Error("EdnetCam should be critical")
+	}
+	// A clean device stays clean.
+	if db.IsVulnerable("HueBridge") {
+		t.Error("HueBridge should have no records")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := NewDefault()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				db.Add(Record{ID: "X", DeviceType: "racer", Severity: SeverityLow})
+				db.Query("racer")
+				db.IsVulnerable("iKettle2")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(db.Query("racer")); got != 800 {
+		t.Errorf("racer records = %d, want 800", got)
+	}
+}
