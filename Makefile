@@ -1,0 +1,32 @@
+# IoT Sentinel build/test entry points. `make test` is the tier-1
+# verification flow (vet + build + full test suite); `make test-race`
+# covers the concurrent classifier bank, gateway and enforcement plane;
+# `make bench` runs every paper-table benchmark plus the parallel
+# train/identify sweeps.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench bench-parallel clean
+
+all: test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet build
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/core/... ./internal/gateway/... ./internal/sdn/... ./internal/iotssp/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+bench-parallel:
+	$(GO) test -bench='BenchmarkTrainParallel|BenchmarkIdentifyBatch|BenchmarkIdentifySharedBank' -benchmem -run='^$$' .
+
+clean:
+	$(GO) clean ./...

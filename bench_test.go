@@ -7,7 +7,9 @@ package iotsentinel
 // paper reports on and produces comparable per-operation numbers.
 
 import (
+	"fmt"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -285,6 +287,112 @@ func BenchmarkAddType(b *testing.B) {
 		if err := id.AddType("Aria", newFPs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkerSweep returns the worker counts the parallel benchmarks
+// sweep: 1 (sequential baseline), then powers of two up to GOMAXPROCS.
+func benchWorkerSweep() []int {
+	sweep := []int{1}
+	max := runtime.GOMAXPROCS(0)
+	for w := 2; w < max; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	if max > 1 {
+		sweep = append(sweep, max)
+	}
+	return sweep
+}
+
+// BenchmarkTrainParallel measures training the full 27-classifier bank
+// at each worker count. The trained models are bit-identical across
+// the sweep (hash-derived per-type seeds), so the ratio between the
+// workers=1 and workers=GOMAXPROCS rows is pure scaling.
+func BenchmarkTrainParallel(b *testing.B) {
+	benchSetup(b)
+	for _, w := range benchWorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Train(benchDataset, core.Config{Seed: 42, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIdentifyBatch measures draining a queue of pending
+// setup-phase fingerprints through the 27-type bank: the sequential
+// per-device Identify baseline first, then IdentifyBatch across the
+// worker sweep. Each op processes the whole probe set, so ns/op is
+// directly comparable across rows; fp/s reports the resulting
+// identification throughput.
+func BenchmarkIdentifyBatch(b *testing.B) {
+	benchSetup(b)
+	restore := func(b *testing.B) {
+		b.Helper()
+		if err := benchID.SetWorkers(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("sequential-identify", func(b *testing.B) {
+		if err := benchID.SetWorkers(1); err != nil {
+			b.Fatal(err)
+		}
+		defer restore(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, fp := range benchProbes {
+				_ = benchID.Identify(fp)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(benchProbes))/b.Elapsed().Seconds(), "fp/s")
+	})
+	for _, w := range benchWorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			if err := benchID.SetWorkers(w); err != nil {
+				b.Fatal(err)
+			}
+			defer restore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = benchID.IdentifyBatch(benchProbes)
+			}
+			b.ReportMetric(float64(b.N*len(benchProbes))/b.Elapsed().Seconds(), "fp/s")
+		})
+	}
+}
+
+// BenchmarkIdentifySharedBank measures many gateway goroutines calling
+// Identify on one shared bank — the serving-path contention profile —
+// across a b.SetParallelism sweep. The bank itself runs sequentially
+// per call (workers=1) so the callers provide all the parallelism, as
+// they would in a loaded gateway.
+func BenchmarkIdentifySharedBank(b *testing.B) {
+	benchSetup(b)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			if err := benchID.SetWorkers(1); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := benchID.SetWorkers(0); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			b.SetParallelism(p)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					_ = benchID.Identify(benchProbes[i%len(benchProbes)])
+					i++
+				}
+			})
+		})
 	}
 }
 

@@ -52,13 +52,14 @@ func run(args []string, out io.Writer) error {
 		replayDir = fs.String("replay", "", "directory of pcap captures to replay on startup")
 		captures  = fs.Int("captures", 20, "training captures per type for the in-process service")
 		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "classifier-bank worker goroutines (0 = GOMAXPROCS)")
 		oneshot   = fs.Bool("oneshot", false, "exit after replay instead of serving the API")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	assessor, err := buildAssessor(out, *sspURL, *captures, *seed)
+	assessor, err := buildAssessor(out, *sspURL, *captures, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -109,7 +110,7 @@ func run(args []string, out io.Writer) error {
 
 // buildAssessor wires either the HTTP client for a remote service or an
 // in-process service trained on the reference dataset.
-func buildAssessor(out io.Writer, sspURL string, captures int, seed int64) (iotssp.Assessor, error) {
+func buildAssessor(out io.Writer, sspURL string, captures int, seed int64, workers int) (iotssp.Assessor, error) {
 	if sspURL != "" {
 		fmt.Fprintf(out, "using remote IoT Security Service at %s\n", sspURL)
 		return &iotssp.Client{BaseURL: strings.TrimRight(sspURL, "/")}, nil
@@ -120,7 +121,7 @@ func buildAssessor(out io.Writer, sspURL string, captures int, seed int64) (iots
 	for k, v := range raw {
 		ds[core.TypeID(k)] = v
 	}
-	id, err := core.Train(ds, core.Config{Seed: seed})
+	id, err := core.Train(ds, core.Config{Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -167,14 +168,11 @@ func replay(out io.Writer, gw *gateway.Gateway, dir string) error {
 			}
 		}
 	}
-	// Any devices still monitoring saw their whole capture: finish
-	// them so rules land.
-	for _, d := range gw.Devices() {
-		if d.State == gateway.StateMonitoring {
-			if err := gw.FinishSetup(d.MAC, last.Add(time.Minute)); err != nil {
-				return fmt.Errorf("replay finish %v: %w", d.MAC, err)
-			}
-		}
+	// Any devices still monitoring saw their whole capture: drain the
+	// monitoring queue as one batch so the pending fingerprints
+	// pipeline through the classifier bank's worker pool.
+	if _, err := gw.FinishAllSetups(last.Add(time.Minute)); err != nil {
+		return fmt.Errorf("replay finish: %w", err)
 	}
 	fmt.Fprintf(out, "replayed %d frames from %d captures; %d devices assessed\n",
 		frames, len(names), len(gw.Devices()))

@@ -1,11 +1,14 @@
 // Command identify trains the IoT Sentinel pipeline from a dataset
 // directory produced by datagen (pcap files + labels.csv) and either
-// evaluates it with cross-validation or identifies a single capture.
+// evaluates it with cross-validation or identifies captures. Several
+// captures may be passed comma-separated; they are identified as one
+// batch, pipelined across the classifier bank's worker pool.
 //
 // Usage:
 //
 //	identify -data ./dataset -evaluate
 //	identify -data ./dataset -pcap unknown.pcap -mac 20:bb:c0:aa:bb:cc
+//	identify -data ./dataset -pcap a.pcap,b.pcap,c.pcap -workers 8
 package main
 
 import (
@@ -37,9 +40,10 @@ func run(args []string, out io.Writer) error {
 		evaluate = fs.Bool("evaluate", false, "run cross-validated evaluation")
 		folds    = fs.Int("folds", 10, "cross-validation folds")
 		repeats  = fs.Int("repeats", 1, "cross-validation repeats")
-		pcapFile = fs.String("pcap", "", "pcap capture to identify")
+		pcapFile = fs.String("pcap", "", "pcap capture(s) to identify, comma-separated")
 		mac      = fs.String("mac", "", "device MAC inside the capture (empty: all frames)")
 		seed     = fs.Int64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 0, "classifier-bank worker goroutines (0 = GOMAXPROCS)")
 		saveFile = fs.String("save", "", "save the trained model to this file")
 		loadFile = fs.String("load", "", "load a trained model instead of training")
 	)
@@ -57,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	if *evaluate {
 		res, err := eval.CrossValidate(ds, eval.CVConfig{
 			Folds: *folds, Repeats: *repeats, Seed: *seed,
+			Identifier: core.Config{Workers: *workers},
 		})
 		if err != nil {
 			return err
@@ -83,10 +88,15 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The worker bound is runtime state, not model state, so it is
+		// not serialized — rebind it for this process.
+		if err := id.SetWorkers(*workers); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "loaded model with %d device-types from %s\n", id.NumTypes(), *loadFile)
 	} else {
 		var err error
-		id, err = core.Train(ds, core.Config{Seed: *seed})
+		id, err = core.Train(ds, core.Config{Seed: *seed, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -108,26 +118,39 @@ func run(args []string, out io.Writer) error {
 			return nil
 		}
 	}
-	f, err := os.Open(*pcapFile)
-	if err != nil {
-		return fmt.Errorf("open capture: %w", err)
+	files := strings.Split(*pcapFile, ",")
+	fps := make([]fingerprint.Fingerprint, len(files))
+	frames := make([]int, len(files))
+	for i, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return fmt.Errorf("open capture: %w", err)
+		}
+		fp, used, err := devices.ReadPCAP(f, *mac)
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("read capture %s: %w", name, err)
+		}
+		fps[i] = fp
+		frames[i] = used
 	}
-	defer func() { _ = f.Close() }()
-	fp, used, err := devices.ReadPCAP(f, *mac)
-	if err != nil {
-		return fmt.Errorf("read capture: %w", err)
-	}
-	res := id.Identify(fp)
-	fmt.Fprintf(out, "capture: %d frames used, %d packets in fingerprint\n", used, len(fp.F))
-	if res.Type == core.Unknown {
-		fmt.Fprintln(out, "device-type: UNKNOWN (no classifier accepted; assign strict isolation)")
-		return nil
-	}
-	fmt.Fprintf(out, "device-type: %s\n", res.Type)
-	if res.Discriminated {
-		fmt.Fprintf(out, "matched %d types; discriminated by edit distance:\n", len(res.Matches))
-		for _, t := range res.Matches {
-			fmt.Fprintf(out, "  %-20s score %.3f\n", t, res.Scores[t])
+	// One pending capture or many: IdentifyBatch pipelines them across
+	// the worker pool and returns results in input order.
+	for i, res := range id.IdentifyBatch(fps) {
+		if len(files) > 1 {
+			fmt.Fprintf(out, "%s:\n", files[i])
+		}
+		fmt.Fprintf(out, "capture: %d frames used, %d packets in fingerprint\n", frames[i], len(fps[i].F))
+		if res.Type == core.Unknown {
+			fmt.Fprintln(out, "device-type: UNKNOWN (no classifier accepted; assign strict isolation)")
+			continue
+		}
+		fmt.Fprintf(out, "device-type: %s\n", res.Type)
+		if res.Discriminated {
+			fmt.Fprintf(out, "matched %d types; discriminated by edit distance:\n", len(res.Matches))
+			for _, t := range res.Matches {
+				fmt.Fprintf(out, "  %-20s score %.3f\n", t, res.Scores[t])
+			}
 		}
 	}
 	return nil

@@ -3,12 +3,19 @@
 // (one per device-type) over the fixed-size fingerprint F′, followed by
 // Damerau-Levenshtein edit-distance discrimination over the full
 // fingerprint F when several classifiers accept.
+//
+// The bank is embarrassingly parallel across device-types: Train fits
+// the per-type classifiers concurrently, Identify fans the vote and
+// discrimination stages out across types, and IdentifyBatch pipelines
+// many fingerprints at once. All parallel paths are bit-for-bit
+// deterministic with their sequential counterparts (see parallel.go).
 package core
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"iotsentinel/internal/editdist"
@@ -41,6 +48,12 @@ type Config struct {
 	AcceptThreshold float64
 	// Seed makes training and reference selection deterministic.
 	Seed int64
+	// Workers bounds the goroutines used by Train, Identify and
+	// IdentifyBatch: 0 selects runtime.GOMAXPROCS(0), 1 forces
+	// sequential execution, negative values are rejected. Workers is a
+	// runtime concern, not model state, so it is excluded from
+	// serialization: models trained at any worker count are identical.
+	Workers int `json:"-"`
 	// DisableDiscrimination skips the edit-distance tie-break and
 	// resolves multi-matches by taking the first accepted type in
 	// sorted order. It exists for the ablation study of the
@@ -48,7 +61,10 @@ type Config struct {
 	DisableDiscrimination bool
 }
 
-func (c Config) normalize() Config {
+func (c Config) normalize() (Config, error) {
+	if c.Workers < 0 {
+		return c, fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
+	}
 	if c.NegativeRatio <= 0 {
 		c.NegativeRatio = 10
 	}
@@ -58,11 +74,12 @@ func (c Config) normalize() Config {
 	if c.AcceptThreshold <= 0 {
 		c.AcceptThreshold = 0.5
 	}
-	return c
+	return c, nil
 }
 
 // typeModel is the per-type classifier plus its discrimination
-// references.
+// references. A typeModel is immutable once built, which is what lets
+// concurrent Identify calls read the bank without per-model locking.
 type typeModel struct {
 	forest *rf.Forest
 	refs   []fingerprint.F
@@ -71,26 +88,37 @@ type typeModel struct {
 // Identifier is a trained device-type identification pipeline. The
 // "one classifier per device-type" design lets new types be added with
 // AddType without retraining existing classifiers.
+//
+// An Identifier is safe for concurrent use: Identify, IdentifyBatch and
+// the read-only accessors may run from any number of goroutines, and
+// AddType serializes against them.
 type Identifier struct {
-	cfg    Config
-	rng    *rand.Rand
+	cfg Config
+
+	// mu guards models, pool and types. Models themselves are immutable
+	// after construction, so readers only need the map/slice snapshot.
+	mu     sync.RWMutex
 	models map[TypeID]*typeModel
-	// pool keeps all training fingerprints per type so that future
-	// AddType calls can draw negatives from the full population.
-	pool map[TypeID][]fingerprint.Fingerprint
+	pool   map[TypeID][]fingerprint.Fingerprint
+	// types caches the sorted type list so the per-identification hot
+	// path does not re-sort the bank.
+	types []TypeID
 }
 
 // Train builds one classifier per device-type from labelled
-// fingerprints. Every type needs at least one fingerprint, and at least
+// fingerprints, fanning the per-type training out across Config.Workers
+// goroutines. Every type needs at least one fingerprint, and at least
 // two types are required (classifiers need negatives).
 func Train(samples map[TypeID][]fingerprint.Fingerprint, cfg Config) (*Identifier, error) {
-	cfg = cfg.normalize()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if len(samples) < 2 {
 		return nil, fmt.Errorf("core: need fingerprints for at least 2 types, got %d", len(samples))
 	}
 	id := &Identifier{
 		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		models: make(map[TypeID]*typeModel, len(samples)),
 		pool:   make(map[TypeID][]fingerprint.Fingerprint, len(samples)),
 	}
@@ -100,68 +128,122 @@ func Train(samples map[TypeID][]fingerprint.Fingerprint, cfg Config) (*Identifie
 		}
 		id.pool[t] = append([]fingerprint.Fingerprint(nil), fps...)
 	}
-	// Train in sorted type order for determinism.
-	for _, t := range id.Types() {
-		if err := id.trainType(t); err != nil {
-			return nil, err
-		}
+	id.types = sortedKeys(id.pool)
+	// Per-type training is independent (hash-derived seeds, read-only
+	// pool), so the bank trains concurrently; results merge into the
+	// model map in canonical order afterwards.
+	built := make([]*typeModel, len(id.types))
+	err = runIndexed(cfg.workers(), len(id.types), func(i int) error {
+		m, err := id.buildModel(id.types[i])
+		built[i] = m
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range id.types {
+		id.models[t] = built[i]
 	}
 	return id, nil
 }
 
-// Types returns the known device-types in sorted order.
-func (id *Identifier) Types() []TypeID {
-	out := make([]TypeID, 0, len(id.pool))
-	for t := range id.pool {
+func sortedKeys(m map[TypeID][]fingerprint.Fingerprint) []TypeID {
+	out := make([]TypeID, 0, len(m))
+	for t := range m {
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// Types returns the known device-types in sorted order.
+func (id *Identifier) Types() []TypeID {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	return append([]TypeID(nil), id.types...)
+}
+
 // NumTypes returns the number of known device-types.
-func (id *Identifier) NumTypes() int { return len(id.models) }
+func (id *Identifier) NumTypes() int {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	return len(id.models)
+}
+
+// Workers reports the resolved worker bound the identifier fans out to.
+func (id *Identifier) Workers() int {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	return id.cfg.workers()
+}
+
+// SetWorkers rebinds the worker bound on a trained identifier (0 =
+// GOMAXPROCS, 1 = sequential). The bound is a runtime setting with no
+// effect on results, so it may be changed at any time — e.g. after
+// LoadIdentifier, which restores models but not the saving process's
+// fan-out.
+func (id *Identifier) SetWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", n)
+	}
+	id.mu.Lock()
+	defer id.mu.Unlock()
+	id.cfg.Workers = n
+	return nil
+}
 
 // AddType trains a classifier for a new device-type without touching
 // the existing classifiers — the incremental-learning property of the
-// one-classifier-per-type design.
+// one-classifier-per-type design. The bank is write-locked for the
+// duration, so in-flight Identify calls finish against the old bank and
+// later ones see the new type.
 func (id *Identifier) AddType(t TypeID, fps []fingerprint.Fingerprint) error {
 	if len(fps) == 0 {
 		return fmt.Errorf("core: type %q has no fingerprints", t)
 	}
+	id.mu.Lock()
+	defer id.mu.Unlock()
 	if _, ok := id.pool[t]; ok {
 		return fmt.Errorf("core: type %q already trained", t)
 	}
 	id.pool[t] = append([]fingerprint.Fingerprint(nil), fps...)
-	if err := id.trainType(t); err != nil {
+	m, err := id.buildModel(t)
+	if err != nil {
 		delete(id.pool, t)
 		return err
 	}
+	id.models[t] = m
+	id.types = sortedKeys(id.pool)
 	return nil
 }
 
-// trainType fits the one-vs-rest classifier for t: all of t's
+// buildModel fits the one-vs-rest classifier for t: all of t's
 // fingerprints as the positive class, and NegativeRatio×n fingerprints
-// sampled from the other types as the negative class.
-func (id *Identifier) trainType(t TypeID) error {
+// sampled from the other types as the negative class. The caller must
+// hold the write lock or otherwise guarantee the pool is stable; the
+// RNG is derived from the top-level seed by type-ID hash, so the result
+// depends only on (seed, t, pool contents) — never on training order or
+// concurrency.
+func (id *Identifier) buildModel(t TypeID) (*typeModel, error) {
+	rng := rand.New(rand.NewSource(typeSeed(id.cfg.Seed, t)))
 	pos := id.pool[t]
 	// Build the negative pool in sorted type order: map iteration
 	// order would make the negative subsample nondeterministic.
 	var negPool []fingerprint.Fingerprint
-	for _, ot := range id.Types() {
+	for _, ot := range sortedKeys(id.pool) {
 		if ot != t {
 			negPool = append(negPool, id.pool[ot]...)
 		}
 	}
 	if len(negPool) == 0 {
-		return fmt.Errorf("core: no negative samples available for type %q", t)
+		return nil, fmt.Errorf("core: no negative samples available for type %q", t)
 	}
 	nNeg := id.cfg.NegativeRatio * len(pos)
 	if nNeg > len(negPool) {
 		nNeg = len(negPool)
 	}
 	// Deterministic subsample of the negative pool.
-	perm := id.rng.Perm(len(negPool))
+	perm := rng.Perm(len(negPool))
 	x := make([][]float64, 0, len(pos)+nNeg)
 	y := make([]int, 0, len(pos)+nNeg)
 	for _, fp := range pos {
@@ -173,14 +255,15 @@ func (id *Identifier) trainType(t TypeID) error {
 		y = append(y, 0)
 	}
 	fcfg := id.cfg.Forest
-	fcfg.Seed = id.rng.Int63()
+	fcfg.Seed = rng.Int63()
+	fcfg.Workers = 1 // the bank parallelizes across types, not trees
 	forest, err := rf.Train(x, y, fcfg)
 	if err != nil {
-		return fmt.Errorf("core: train classifier for %q: %w", t, err)
+		return nil, fmt.Errorf("core: train classifier for %q: %w", t, err)
 	}
 	// Reference fingerprints for discrimination: a random subset of
 	// the positive class.
-	refIdx := id.rng.Perm(len(pos))
+	refIdx := rng.Perm(len(pos))
 	nRefs := id.cfg.RefFingerprints
 	if nRefs > len(pos) {
 		nRefs = len(pos)
@@ -189,8 +272,7 @@ func (id *Identifier) trainType(t TypeID) error {
 	for _, ri := range refIdx[:nRefs] {
 		refs = append(refs, pos[ri].F)
 	}
-	id.models[t] = &typeModel{forest: forest, refs: refs}
-	return nil
+	return &typeModel{forest: forest, refs: refs}, nil
 }
 
 // Result reports the outcome of one identification.
@@ -214,17 +296,29 @@ type Result struct {
 	DiscriminateTime time.Duration
 }
 
-// Identify runs the two-stage pipeline on one fingerprint.
+// minParallelTypes is the bank size below which fanning a single
+// identification out across goroutines costs more than it saves.
+const minParallelTypes = 8
+
+// Identify runs the two-stage pipeline on one fingerprint. With
+// Workers > 1 the classifier votes and the edit-distance discrimination
+// fan out across the bank; results are identical to sequential
+// execution because matches and scores merge in canonical type order.
 func (id *Identifier) Identify(fp fingerprint.Fingerprint) Result {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	return id.identifyLocked(fp, id.cfg.workers())
+}
+
+// identifyLocked is Identify with the read lock already held and an
+// explicit fan-out bound (IdentifyBatch parallelizes across
+// fingerprints instead, so its per-item calls run the bank
+// sequentially).
+func (id *Identifier) identifyLocked(fp fingerprint.Fingerprint, workers int) Result {
 	var res Result
 
 	start := time.Now()
-	for _, t := range id.Types() {
-		m := id.models[t]
-		if m.forest.SoftProba(fp.FPrime[:])[1] >= id.cfg.AcceptThreshold {
-			res.Matches = append(res.Matches, t)
-		}
-	}
+	res.Matches = id.classifyLocked(fp, workers)
 	res.ClassifyTime = time.Since(start)
 
 	switch len(res.Matches) {
@@ -242,21 +336,35 @@ func (id *Identifier) Identify(fp fingerprint.Fingerprint) Result {
 	}
 
 	// Multiple matches: discriminate by summed normalized edit
-	// distance to each candidate's reference fingerprints.
+	// distance to each candidate's reference fingerprints. Each
+	// candidate's score is independent, so the distance computations
+	// fan out; the winner scan below stays sequential in match order
+	// so ties resolve exactly as they would sequentially.
 	start = time.Now()
 	res.Discriminated = true
+	scores := make([]float64, len(res.Matches))
+	counts := make([]int, len(res.Matches))
+	if workers > len(res.Matches) {
+		workers = len(res.Matches)
+	}
+	if len(res.Matches) < 2 {
+		workers = 1
+	}
+	forEachIndexed(workers, len(res.Matches), func(i int) {
+		m := id.models[res.Matches[i]]
+		for _, ref := range m.refs {
+			scores[i] += editdist.FingerprintDistance(fp.F, ref)
+			counts[i]++
+		}
+	})
 	res.Scores = make(map[TypeID]float64, len(res.Matches))
 	best := Unknown
 	bestScore := float64(len(id.models)) * float64(id.cfg.RefFingerprints)
-	for _, t := range res.Matches {
-		score := 0.0
-		for _, ref := range id.models[t].refs {
-			score += editdist.FingerprintDistance(fp.F, ref)
-			res.EditDistances++
-		}
-		res.Scores[t] = score
-		if best == Unknown || score < bestScore {
-			best, bestScore = t, score
+	for i, t := range res.Matches {
+		res.Scores[t] = scores[i]
+		res.EditDistances += counts[i]
+		if best == Unknown || scores[i] < bestScore {
+			best, bestScore = t, scores[i]
 		}
 	}
 	res.DiscriminateTime = time.Since(start)
@@ -264,16 +372,64 @@ func (id *Identifier) Identify(fp fingerprint.Fingerprint) Result {
 	return res
 }
 
-// ClassifyOnly runs only the classifier bank and returns the accepted
-// types; used by the discrimination on/off ablation.
-func (id *Identifier) ClassifyOnly(fp fingerprint.Fingerprint) []TypeID {
+// classifyLocked scores every classifier in the bank on fp and returns
+// the accepting types in canonical order. Accept decisions land in a
+// per-type slot indexed by bank position, so the fan-out order cannot
+// reorder the result.
+func (id *Identifier) classifyLocked(fp fingerprint.Fingerprint, workers int) []TypeID {
+	n := len(id.types)
+	if workers > n {
+		workers = n
+	}
+	if n < minParallelTypes {
+		workers = 1
+	}
+	accepted := make([]bool, n)
+	forEachIndexed(workers, n, func(i int) {
+		m := id.models[id.types[i]]
+		accepted[i] = m.forest.SoftProba(fp.FPrime[:])[1] >= id.cfg.AcceptThreshold
+	})
 	var matches []TypeID
-	for _, t := range id.Types() {
-		if id.models[t].forest.SoftProba(fp.FPrime[:])[1] >= id.cfg.AcceptThreshold {
-			matches = append(matches, t)
+	for i, ok := range accepted {
+		if ok {
+			matches = append(matches, id.types[i])
 		}
 	}
 	return matches
+}
+
+// IdentifyBatch runs the pipeline over many fingerprints at once,
+// pipelining them across Config.Workers goroutines — the right call
+// shape when several devices finish their setup phase together (a
+// gateway draining its monitoring queue, or bulk evaluation). Results
+// are returned in input order and are element-wise identical to calling
+// Identify on each fingerprint. Each worker runs the bank sequentially:
+// for B pending fingerprints the batch axis already exposes B-way
+// parallelism, and nesting a per-type fan-out under it only adds
+// scheduling overhead.
+func (id *Identifier) IdentifyBatch(fps []fingerprint.Fingerprint) []Result {
+	if len(fps) == 0 {
+		return nil
+	}
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	out := make([]Result, len(fps))
+	workers := id.cfg.workers()
+	if workers > len(fps) {
+		workers = len(fps)
+	}
+	forEachIndexed(workers, len(fps), func(i int) {
+		out[i] = id.identifyLocked(fps[i], 1)
+	})
+	return out
+}
+
+// ClassifyOnly runs only the classifier bank and returns the accepted
+// types; used by the discrimination on/off ablation.
+func (id *Identifier) ClassifyOnly(fp fingerprint.Fingerprint) []TypeID {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	return id.classifyLocked(fp, id.cfg.workers())
 }
 
 // FeatureImportance aggregates Gini feature importance across every
@@ -282,8 +438,10 @@ func (id *Identifier) ClassifyOnly(fp fingerprint.Fingerprint) []TypeID {
 // packet features of Table I (each feature appears once per packet
 // slot).
 func (id *Identifier) FeatureImportance() [features.Count]float64 {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
 	var out [features.Count]float64
-	for _, t := range id.Types() {
+	for _, t := range id.types {
 		imp := id.models[t].forest.FeatureImportance(fingerprint.FPrimeLen)
 		for dim, w := range imp {
 			out[dim%features.Count] += w

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 
 	"iotsentinel/internal/features"
 	"iotsentinel/internal/fingerprint"
@@ -34,10 +33,15 @@ type wireTypeData struct {
 	Pool [][][]float64 `json:"pool"`
 }
 
-// Save serializes the identifier to w as versioned JSON.
+// Save serializes the identifier to w as versioned JSON. The worker
+// bound is a runtime setting, not model state, so it is not saved:
+// identifiers trained at different Workers values serialize to
+// identical bytes.
 func (id *Identifier) Save(w io.Writer) error {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
 	out := wireIdentifier{Version: wireVersion, Config: id.cfg}
-	for _, t := range id.Types() {
+	for _, t := range id.types {
 		m := id.models[t]
 		var fbuf bytes.Buffer
 		if err := m.forest.Save(&fbuf); err != nil {
@@ -70,9 +74,12 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 	if len(in.Types) == 0 {
 		return nil, fmt.Errorf("core: load: no types")
 	}
+	cfg, err := in.Config.normalize()
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
 	id := &Identifier{
-		cfg:    in.Config.normalize(),
-		rng:    rand.New(rand.NewSource(in.Config.Seed)),
+		cfg:    cfg,
 		models: make(map[TypeID]*typeModel, len(in.Types)),
 		pool:   make(map[TypeID][]fingerprint.Fingerprint, len(in.Types)),
 	}
@@ -105,6 +112,7 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 			return nil, fmt.Errorf("core: load %q: empty training pool", t)
 		}
 	}
+	id.types = sortedKeys(id.pool)
 	return id, nil
 }
 

@@ -152,8 +152,9 @@ func CrossValidate(ds map[core.TypeID][]fingerprint.Fingerprint, cfg CVConfig) (
 			if err != nil {
 				return nil, fmt.Errorf("eval: fold %d: %w", f, err)
 			}
-			for i, fp := range testFPs {
-				r := id.Identify(fp)
+			// The whole held-out fold is pending at once — exactly the
+			// shape IdentifyBatch pipelines across workers.
+			for i, r := range id.IdentifyBatch(testFPs) {
 				res.Confusion.Add(testLabels[i], r.Type)
 				res.Evaluated++
 				if len(r.Matches) > 1 {

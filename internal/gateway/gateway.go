@@ -6,6 +6,7 @@
 package gateway
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -178,12 +179,72 @@ func (g *Gateway) FinishSetup(mac packet.MAC, now time.Time) error {
 	return g.assess(mac, cap.Fingerprint(), now)
 }
 
+// FinishAllSetups force-completes the setup phase of every device still
+// being monitored and assesses them as one batch: when the service
+// supports iotssp.BatchAssessor the pending fingerprints are pipelined
+// through the identifier's worker pool instead of being scored one by
+// one. Devices are processed in MAC order; the count of assessed
+// devices is returned. It is the bulk analogue of FinishSetup — use it
+// when draining the monitoring queue (replay end, shutdown, operator
+// "finish all").
+func (g *Gateway) FinishAllSetups(now time.Time) (int, error) {
+	g.mu.Lock()
+	macs := make([]packet.MAC, 0, len(g.captures))
+	for mac := range g.captures {
+		macs = append(macs, mac)
+	}
+	sort.Slice(macs, func(i, j int) bool {
+		return bytes.Compare(macs[i][:], macs[j][:]) < 0
+	})
+	fps := make([]fingerprint.Fingerprint, len(macs))
+	for i, mac := range macs {
+		fps[i] = g.captures[mac].Fingerprint()
+		delete(g.captures, mac)
+	}
+	g.mu.Unlock()
+	if len(macs) == 0 {
+		return 0, nil
+	}
+	assessments, err := assessAll(g.assessor, fps)
+	if err != nil {
+		return 0, fmt.Errorf("gateway: batch assess: %w", err)
+	}
+	for i, a := range assessments {
+		g.apply(macs[i], a, now)
+	}
+	return len(macs), nil
+}
+
+// assessAll uses the service's batch capability when it has one and
+// falls back to per-fingerprint calls (e.g. the remote HTTP client).
+func assessAll(assessor iotssp.Assessor, fps []fingerprint.Fingerprint) ([]iotssp.Assessment, error) {
+	if b, ok := assessor.(iotssp.BatchAssessor); ok {
+		return b.AssessBatch(fps)
+	}
+	out := make([]iotssp.Assessment, len(fps))
+	for i, fp := range fps {
+		a, err := assessor.Assess(fp)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
 // assess queries the IoTSSP and installs the enforcement rule.
 func (g *Gateway) assess(mac packet.MAC, fp fingerprint.Fingerprint, now time.Time) error {
 	a, err := g.assessor.Assess(fp)
 	if err != nil {
 		return err
 	}
+	g.apply(mac, a, now)
+	return nil
+}
+
+// apply installs the enforcement rule for one assessment and fires the
+// gateway callbacks.
+func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 	rule := &sdn.EnforcementRule{
 		DeviceMAC:    mac,
 		Level:        a.Level,
@@ -223,7 +284,6 @@ func (g *Gateway) assess(mac packet.MAC, fp fingerprint.Fingerprint, now time.Ti
 			}
 		}
 	}
-	return nil
 }
 
 // RemoveDevice forgets a device that left the network: its enforcement

@@ -25,7 +25,7 @@ func standbyService(t *testing.T, types []string) *iotssp.Service {
 	for _, typ := range types {
 		samples[core.TypeID(typ)] = full[typ]
 	}
-	id, err := core.Train(samples, core.Config{Seed: 6, AcceptThreshold: 0.7})
+	id, err := core.Train(samples, core.Config{Seed: 5, AcceptThreshold: 0.7})
 	if err != nil {
 		t.Fatalf("Train: %v", err)
 	}

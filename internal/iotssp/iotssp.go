@@ -41,6 +41,15 @@ type Assessor interface {
 	Assess(fp fingerprint.Fingerprint) (Assessment, error)
 }
 
+// BatchAssessor is the optional bulk capability: assess many pending
+// fingerprints in one call so the identifier can pipeline them across
+// its worker pool. Results are returned in input order. Gateways probe
+// for it with a type assertion and fall back to per-fingerprint Assess
+// (the HTTP client, for instance, stays sequential on the wire).
+type BatchAssessor interface {
+	AssessBatch(fps []fingerprint.Fingerprint) ([]Assessment, error)
+}
+
 // Service is the in-process IoT Security Service.
 type Service struct {
 	mu        sync.RWMutex
@@ -49,7 +58,10 @@ type Service struct {
 	endpoints map[core.TypeID][]netip.Addr
 }
 
-var _ Assessor = (*Service)(nil)
+var (
+	_ Assessor      = (*Service)(nil)
+	_ BatchAssessor = (*Service)(nil)
+)
 
 // New assembles a service from a trained identifier and a vulnerability
 // database.
@@ -88,11 +100,29 @@ func (s *Service) Types() []core.TypeID {
 func (s *Service) Assess(fp fingerprint.Fingerprint) (Assessment, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.assessmentLocked(s.id.Identify(fp)), nil
+}
 
-	res := s.id.Identify(fp)
+// AssessBatch classifies many fingerprints in one call, pipelining the
+// identifications across the identifier's worker pool. Assessments are
+// returned in input order and match element-wise what Assess would
+// return for each fingerprint.
+func (s *Service) AssessBatch(fps []fingerprint.Fingerprint) ([]Assessment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Assessment, len(fps))
+	for i, res := range s.id.IdentifyBatch(fps) {
+		out[i] = s.assessmentLocked(res)
+	}
+	return out, nil
+}
+
+// assessmentLocked derives the isolation level for one identification;
+// the caller holds at least a read lock.
+func (s *Service) assessmentLocked(res core.Result) Assessment {
 	if res.Type == core.Unknown {
 		// Unknown devices get strict isolation (Sect. III-B).
-		return Assessment{Type: core.Unknown, Level: sdn.Strict}, nil
+		return Assessment{Type: core.Unknown, Level: sdn.Strict}
 	}
 	a := Assessment{Type: res.Type, Known: true}
 	a.Vulnerabilities = s.db.Query(string(res.Type))
@@ -105,5 +135,5 @@ func (s *Service) Assess(fp fingerprint.Fingerprint) (Assessment, error) {
 	} else {
 		a.Level = sdn.Trusted
 	}
-	return a, nil
+	return a
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Config controls Random Forest training. The zero value selects the
@@ -20,6 +23,14 @@ type Config struct {
 	MaxFeatures int
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds the goroutines growing trees concurrently:
+	// 0 selects runtime.GOMAXPROCS(0), 1 forces sequential growth.
+	// Each tree draws its bootstrap and splits from its own RNG whose
+	// seed is pre-drawn from the Seed stream, so the trained forest is
+	// identical at every worker count. Callers that already
+	// parallelize at a coarser grain (e.g. core's per-type classifier
+	// bank) should pass 1 to avoid nested fan-out.
+	Workers int `json:"-"`
 }
 
 func (c Config) normalize(nFeatures int) Config {
@@ -58,23 +69,64 @@ func Train(x [][]float64, y []int, cfg Config) (*Forest, error) {
 		return nil, fmt.Errorf("rf: need at least 2 classes, got %d", nClasses)
 	}
 	cfg = cfg.normalize(len(x[0]))
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("rf: Workers must be >= 0, got %d", cfg.Workers)
+	}
 	p := treeParams{
 		maxDepth:    cfg.MaxDepth,
 		minLeaf:     cfg.MinLeaf,
 		maxFeatures: cfg.MaxFeatures,
 		nClasses:    nClasses,
 	}
+	// Pre-draw one seed per tree from the top-level stream, then grow
+	// each tree from its own RNG. Growth order then cannot influence
+	// any tree's randomness, which is what lets the grow loop fan out
+	// across workers without changing the trained forest.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seeds := make([]int64, cfg.Trees)
+	for t := range seeds {
+		seeds[t] = rng.Int63()
+	}
 	f := &Forest{trees: make([]*Tree, cfg.Trees), nClasses: nClasses}
 	n := len(x)
-	for t := 0; t < cfg.Trees; t++ {
+	growOne := func(t int) {
+		trng := rand.New(rand.NewSource(seeds[t]))
 		// Bootstrap sample with replacement.
 		idx := make([]int, n)
 		for i := range idx {
-			idx[i] = rng.Intn(n)
+			idx[i] = trng.Intn(n)
 		}
-		f.trees[t] = &Tree{root: growTree(x, y, idx, p, rng), nClasses: nClasses}
+		f.trees[t] = &Tree{root: growTree(x, y, idx, p, trng), nClasses: nClasses}
 	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+	if workers <= 1 {
+		for t := 0; t < cfg.Trees; t++ {
+			growOne(t)
+		}
+		return f, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= cfg.Trees {
+					return
+				}
+				growOne(t)
+			}
+		}()
+	}
+	wg.Wait()
 	return f, nil
 }
 

@@ -97,6 +97,13 @@ func WithSeed(seed int64) Option {
 	return optionFunc(func(o *options) { o.coreCfg.Seed = seed })
 }
 
+// WithWorkers bounds the goroutines the classifier bank fans out to
+// during training, Identify and IdentifyBatch (0 = GOMAXPROCS,
+// 1 = sequential). Results are identical at every worker count.
+func WithWorkers(n int) Option {
+	return optionFunc(func(o *options) { o.coreCfg.Workers = n })
+}
+
 // WithForestTrees sets the per-type Random Forest size (default 25).
 func WithForestTrees(n int) Option {
 	return optionFunc(func(o *options) { o.coreCfg.Forest.Trees = n })
