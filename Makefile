@@ -1,14 +1,23 @@
-# IoT Sentinel build/test entry points. `make test` is the tier-1
-# verification flow (vet + build + full test suite); `make test-race`
-# covers the concurrent classifier bank, gateway and enforcement plane;
-# `make bench` runs every paper-table benchmark plus the parallel
-# train/identify sweeps.
+# IoT Sentinel build/test entry points. `make verify` is the tier-1
+# gate (vet + gofmt check + build + full test suite + a short -race
+# pass over the gateway); `make test-race` covers the concurrent
+# classifier bank, gateway and enforcement plane in full; `make bench`
+# runs every paper-table benchmark plus the parallel train/identify
+# sweeps.
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-parallel clean
+.PHONY: all build vet fmt-check verify test test-race bench bench-parallel clean
 
-all: test
+all: verify
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+verify: vet fmt-check build
+	$(GO) test ./...
+	$(GO) test -race -count=1 ./internal/gateway/...
 
 build:
 	$(GO) build ./...

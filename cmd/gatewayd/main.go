@@ -47,19 +47,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gatewayd", flag.ContinueOnError)
 	var (
-		apiAddr   = fs.String("api", "127.0.0.1:8080", "management API listen address")
-		sspURL    = fs.String("ssp", "", "remote IoT Security Service base URL (default: in-process)")
-		replayDir = fs.String("replay", "", "directory of pcap captures to replay on startup")
-		captures  = fs.Int("captures", 20, "training captures per type for the in-process service")
-		seed      = fs.Int64("seed", 1, "random seed")
-		workers   = fs.Int("workers", 0, "classifier-bank worker goroutines (0 = GOMAXPROCS)")
-		oneshot   = fs.Bool("oneshot", false, "exit after replay instead of serving the API")
+		apiAddr       = fs.String("api", "127.0.0.1:8080", "management API listen address")
+		sspURL        = fs.String("ssp", "", "remote IoT Security Service base URL (default: in-process)")
+		replayDir     = fs.String("replay", "", "directory of pcap captures to replay on startup")
+		captures      = fs.Int("captures", 20, "training captures per type for the in-process service")
+		seed          = fs.Int64("seed", 1, "random seed")
+		workers       = fs.Int("workers", 0, "classifier-bank worker goroutines (0 = GOMAXPROCS)")
+		oneshot       = fs.Bool("oneshot", false, "exit after replay instead of serving the API")
+		assessTimeout = fs.Duration("assess-timeout", 10*time.Second, "per-attempt timeout for remote IoTSSP calls")
+		assessRetries = fs.Int("assess-retries", 3, "additional attempts after a failed remote IoTSSP call")
+		retryPeriod   = fs.Duration("retry-period", 5*time.Second, "how often quarantined devices are re-assessed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	assessor, err := buildAssessor(out, *sspURL, *captures, *seed, *workers)
+	assessor, err := buildAssessor(out, *sspURL, *captures, *seed, *workers, *assessTimeout, *assessRetries)
 	if err != nil {
 		return err
 	}
@@ -73,6 +76,9 @@ func run(args []string, out io.Writer) error {
 		OnNotify: func(n gateway.Notification) {
 			fmt.Fprintf(out, "USER ALERT: %s\n", n.Message)
 		},
+		OnQuarantined: func(d gateway.DeviceInfo, cause error) {
+			fmt.Fprintf(out, "quarantined %v (strict, attempt %d): %v\n", d.MAC, d.AssessAttempts, cause)
+		},
 	})
 
 	if *replayDir != "" {
@@ -83,6 +89,14 @@ func run(args []string, out io.Writer) error {
 	if *oneshot {
 		return nil
 	}
+
+	// Housekeeping workers: flow-table sweep + idle-capture finalizer,
+	// and the quarantine drain that promotes devices once the IoTSSP
+	// recovers.
+	expiry := gateway.NewExpiryWorker(gw, 5*time.Second)
+	defer expiry.Shutdown()
+	retry := gateway.NewRetryWorker(gw, *retryPeriod)
+	defer retry.Shutdown()
 
 	ln, err := net.Listen("tcp", *apiAddr)
 	if err != nil {
@@ -109,11 +123,23 @@ func run(args []string, out io.Writer) error {
 }
 
 // buildAssessor wires either the HTTP client for a remote service or an
-// in-process service trained on the reference dataset.
-func buildAssessor(out io.Writer, sspURL string, captures int, seed int64, workers int) (iotssp.Assessor, error) {
+// in-process service trained on the reference dataset. The remote
+// client gets the full fault-tolerance stack: per-attempt timeout,
+// bounded retries with backoff, and a circuit breaker so a down service
+// fails fast instead of stalling the data path.
+func buildAssessor(out io.Writer, sspURL string, captures int, seed int64, workers int,
+	assessTimeout time.Duration, assessRetries int) (iotssp.Assessor, error) {
 	if sspURL != "" {
 		fmt.Fprintf(out, "using remote IoT Security Service at %s\n", sspURL)
-		return &iotssp.Client{BaseURL: strings.TrimRight(sspURL, "/")}, nil
+		if assessRetries < 0 {
+			assessRetries = 0
+		}
+		return &iotssp.Client{
+			BaseURL: strings.TrimRight(sspURL, "/"),
+			Timeout: assessTimeout,
+			Retry:   iotssp.RetryPolicy{MaxAttempts: assessRetries + 1, Seed: uint64(seed)},
+			Breaker: iotssp.NewCircuitBreaker(0, 0, nil),
+		}, nil
 	}
 	fmt.Fprintf(out, "training in-process IoT Security Service (%d captures x 27 types)...\n", captures)
 	raw := devices.GenerateDataset(captures, seed)
@@ -174,8 +200,9 @@ func replay(out io.Writer, gw *gateway.Gateway, dir string) error {
 	if _, err := gw.FinishAllSetups(last.Add(time.Minute)); err != nil {
 		return fmt.Errorf("replay finish: %w", err)
 	}
-	fmt.Fprintf(out, "replayed %d frames from %d captures; %d devices assessed\n",
-		frames, len(names), len(gw.Devices()))
+	quarantined := gw.QuarantineLen()
+	fmt.Fprintf(out, "replayed %d frames from %d captures; %d devices assessed, %d quarantined\n",
+		frames, len(names), len(gw.Devices())-quarantined, quarantined)
 	return nil
 }
 

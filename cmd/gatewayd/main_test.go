@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -85,6 +86,33 @@ func TestGatewaydRemoteSSP(t *testing.T) {
 	}
 	if !strings.Contains(s, `"EdnetCam" -> restricted`) {
 		t.Errorf("remote assessment missing:\n%s", s)
+	}
+}
+
+func TestGatewaydDegradedReplayQuarantines(t *testing.T) {
+	// The IoTSSP answers 503 to everything: replay must still complete,
+	// quarantining every device fail-closed instead of crashing.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "service down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	dir := writeReplayDir(t)
+	var out bytes.Buffer
+	err := run([]string{"-replay", dir, "-oneshot", "-ssp", srv.URL,
+		"-assess-timeout", "2s", "-assess-retries", "0"}, &out)
+	if err != nil {
+		t.Fatalf("run with down IoTSSP must degrade, not fail: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "quarantined") {
+		t.Errorf("output missing quarantine notices:\n%s", s)
+	}
+	if !strings.Contains(s, "0 devices assessed, 3 quarantined") {
+		t.Errorf("replay summary wrong:\n%s", s)
+	}
+	if strings.Contains(s, "assessed ") && strings.Contains(s, "->") {
+		t.Errorf("devices assessed despite down service:\n%s", s)
 	}
 }
 

@@ -41,10 +41,11 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("iotsspd", flag.ContinueOnError)
 	var (
-		listen    = fs.String("listen", "127.0.0.1:8477", "listen address")
-		modelFile = fs.String("model", "", "saved identifier model (default: train on the reference dataset)")
-		captures  = fs.Int("captures", 20, "training captures per type when no model is given")
-		seed      = fs.Int64("seed", 1, "random seed")
+		listen        = fs.String("listen", "127.0.0.1:8477", "listen address")
+		modelFile     = fs.String("model", "", "saved identifier model (default: train on the reference dataset)")
+		captures      = fs.Int("captures", 20, "training captures per type when no model is given")
+		seed          = fs.Int64("seed", 1, "random seed")
+		assessTimeout = fs.Duration("assess-timeout", 30*time.Second, "server-side cap per assessment request (0 = unlimited); gateways retry 503s")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,8 +82,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
+	handler := iotssp.Handler(svc)
+	if *assessTimeout > 0 {
+		// A wedged classification must not pin the connection forever:
+		// the handler 503s at the cap and the gateway-side retry policy
+		// takes over.
+		handler = http.TimeoutHandler(handler, *assessTimeout, "assessment timed out")
+	}
 	srv := &http.Server{
-		Handler:           iotssp.Handler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Fprintf(out, "IoT Security Service listening on %s\n", ln.Addr())

@@ -40,7 +40,8 @@ func TestServerServesAndShutsDown(t *testing.T) {
 	var out bytes.Buffer
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run([]string{"-listen", "127.0.0.1:8493", "-model", model}, &out)
+		errCh <- run([]string{"-listen", "127.0.0.1:8493", "-model", model,
+			"-assess-timeout", "10s"}, &out)
 	}()
 
 	// Wait for the listener.

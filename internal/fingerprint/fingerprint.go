@@ -177,6 +177,11 @@ func (c *SetupCapture) Done() bool { return c.done }
 // Len returns the number of packets captured so far.
 func (c *SetupCapture) Len() int { return len(c.vecs) }
 
+// LastSeen returns the timestamp of the most recently observed packet
+// (zero before the first packet). Sweepers use it to finalize captures
+// of devices that went silent without a completion-triggering packet.
+func (c *SetupCapture) LastSeen() time.Time { return c.lastSeen }
+
 // Fingerprint finalizes the capture and returns the fingerprint built
 // from the packets observed so far.
 func (c *SetupCapture) Fingerprint() Fingerprint {

@@ -28,6 +28,8 @@ type deviceJSON struct {
 	FirstSeen       string   `json:"firstSeen"`
 	AssessedAt      string   `json:"assessedAt,omitempty"`
 	Vulnerabilities []string `json:"vulnerabilities,omitempty"`
+	QuarantinedAt   string   `json:"quarantinedAt,omitempty"`
+	AssessAttempts  int      `json:"assessAttempts,omitempty"`
 }
 
 type ruleJSON struct {
@@ -48,6 +50,11 @@ func deviceToJSON(d DeviceInfo) deviceJSON {
 	if d.State == StateAssessed {
 		out.Level = d.Level.String()
 		out.AssessedAt = d.AssessedAt.UTC().Format(time.RFC3339)
+	}
+	if d.State == StateQuarantined {
+		out.Level = d.Level.String()
+		out.QuarantinedAt = d.QuarantinedAt.UTC().Format(time.RFC3339)
+		out.AssessAttempts = d.AssessAttempts
 	}
 	for _, v := range d.Vulnerabilities {
 		out.Vulnerabilities = append(out.Vulnerabilities, v.ID)
@@ -158,6 +165,7 @@ func (g *Gateway) APIHandler(now func() time.Time) http.Handler {
 			"flows":           g.sw.Table().Len(),
 			"ruleCacheHits":   hits,
 			"ruleCacheMisses": misses,
+			"quarantined":     g.QuarantineLen(),
 		})
 	})
 

@@ -6,17 +6,23 @@ import (
 
 // ExpiryWorker periodically sweeps the switch's flow table, evicting
 // idle flows — the housekeeping a Floodlight deployment gets from
-// OpenFlow idle timeouts. It follows the managed-goroutine pattern:
-// construction starts the worker, Shutdown stops it and waits.
+// OpenFlow idle timeouts — and finalizes setup captures of devices that
+// went silent (completion is otherwise only detected on the device's
+// next packet, so a device that never speaks again would leak its
+// capture). It follows the managed-goroutine pattern: construction
+// starts the worker, Shutdown stops it and waits.
 type ExpiryWorker struct {
 	stop chan struct{}
 	done chan struct{}
-	// Expired counts total evictions, readable after Shutdown.
+	// Expired counts total flow evictions, readable after Shutdown.
 	expired int
+	// finalized counts idle captures completed, readable after
+	// Shutdown via Finalized.
+	finalized int
 }
 
-// NewExpiryWorker starts a sweeper over the gateway's flow table with
-// the given period (non-positive selects 5 s).
+// NewExpiryWorker starts a sweeper over the gateway's flow table and
+// capture set with the given period (non-positive selects 5 s).
 func NewExpiryWorker(g *Gateway, period time.Duration) *ExpiryWorker {
 	if period <= 0 {
 		period = 5 * time.Second
@@ -37,16 +43,21 @@ func (w *ExpiryWorker) run(g *Gateway, period time.Duration) {
 		select {
 		case now := <-ticker.C:
 			w.expired += g.Switch().Table().Expire(now)
+			w.finalized += g.FinalizeIdleCaptures(now)
 		case <-w.stop:
 			return
 		}
 	}
 }
 
-// Shutdown stops the worker and waits for it to exit. It is safe to
-// call at most once.
+// Shutdown stops the worker and waits for it to exit, returning the
+// number of expired flows. It is safe to call at most once.
 func (w *ExpiryWorker) Shutdown() int {
 	close(w.stop)
 	<-w.done
 	return w.expired
 }
+
+// Finalized returns the number of idle captures the worker completed.
+// Only valid after Shutdown.
+func (w *ExpiryWorker) Finalized() int { return w.finalized }

@@ -32,14 +32,23 @@ const (
 	// StateAssessed: the IoTSSP returned an assessment and an
 	// enforcement rule is installed.
 	StateAssessed
+	// StateQuarantined: the assessment failed (service down, timeout,
+	// breaker open); the device is isolated fail-closed at sdn.Strict
+	// and its fingerprint is parked in the retry queue until the
+	// service recovers.
+	StateQuarantined
 )
 
 // String returns the lowercase state name.
 func (s DeviceState) String() string {
-	if s == StateAssessed {
+	switch s {
+	case StateAssessed:
 		return "assessed"
+	case StateQuarantined:
+		return "quarantined"
+	default:
+		return "monitoring"
 	}
-	return "monitoring"
 }
 
 // DeviceInfo is the gateway's view of one device.
@@ -52,6 +61,12 @@ type DeviceInfo struct {
 	AssessedAt      time.Time
 	SetupPackets    int
 	Vulnerabilities []vulndb.Record
+	// QuarantinedAt is set while the device awaits a successful
+	// re-assessment (zero otherwise).
+	QuarantinedAt time.Time
+	// AssessAttempts counts failed assessment attempts since the
+	// device entered quarantine (reset on promotion).
+	AssessAttempts int
 }
 
 // Notification is the user-facing alert of Sect. III-C3, raised when a
@@ -74,11 +89,25 @@ type Config struct {
 	// OnNotify, if set, receives user notifications for devices whose
 	// critical vulnerabilities have no firmware fix.
 	OnNotify func(Notification)
+	// OnQuarantined, if set, is called each time an assessment fails
+	// and the device is isolated fail-closed pending retry.
+	OnQuarantined func(DeviceInfo, error)
+	// MaxQuarantined bounds the quarantine retry queue (default 1024).
+	// Devices quarantined beyond the bound stay isolated at strict but
+	// are not retried automatically; the operator can remove and
+	// re-introduce them.
+	MaxQuarantined int
 	// Keystore, if set, enables WPS credential management: every new
 	// device is enrolled with a device-specific WPA2 PSK on first
 	// sight (Sect. III-A), and legacy migration re-keys WPS-capable
 	// devices (Sect. VIII-A).
 	Keystore *wps.Keystore
+}
+
+// quarantined is one parked fingerprint awaiting a retry.
+type quarantined struct {
+	fp    fingerprint.Fingerprint
+	since time.Time
 }
 
 // Gateway is the Security Gateway.
@@ -90,6 +119,9 @@ type Gateway struct {
 	monitor  *sdn.TrafficMonitor
 	captures map[packet.MAC]*fingerprint.SetupCapture
 	devices  map[packet.MAC]*DeviceInfo
+	// quarantine parks the fingerprints of devices whose assessment
+	// failed, bounded by cfg.MaxQuarantined.
+	quarantine map[packet.MAC]*quarantined
 }
 
 // New wires a gateway to its switch and the security service, and
@@ -98,12 +130,13 @@ func New(assessor iotssp.Assessor, sw *sdn.Switch, cfg Config) *Gateway {
 	mon := sdn.NewTrafficMonitor()
 	sw.SetMonitor(mon)
 	return &Gateway{
-		cfg:      cfg,
-		assessor: assessor,
-		sw:       sw,
-		monitor:  mon,
-		captures: make(map[packet.MAC]*fingerprint.SetupCapture),
-		devices:  make(map[packet.MAC]*DeviceInfo),
+		cfg:        cfg,
+		assessor:   assessor,
+		sw:         sw,
+		monitor:    mon,
+		captures:   make(map[packet.MAC]*fingerprint.SetupCapture),
+		devices:    make(map[packet.MAC]*DeviceInfo),
+		quarantine: make(map[packet.MAC]*quarantined),
 	}
 }
 
@@ -138,19 +171,25 @@ func (g *Gateway) HandlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, err
 	}
 	var finished *fingerprint.SetupCapture
 	if info != nil && info.State == StateMonitoring {
-		cap := g.captures[pk.SrcMAC]
-		if done := cap.Observe(ts, pk); done {
-			finished = cap
-			delete(g.captures, pk.SrcMAC)
+		// The capture can be gone while the state is still monitoring:
+		// a concurrent FinishSetup/FinishAllSetups/FinalizeIdleCaptures
+		// claimed it and has not applied its assessment yet. Skip
+		// observation instead of nil-dereferencing the capture.
+		if cap := g.captures[pk.SrcMAC]; cap != nil {
+			if done := cap.Observe(ts, pk); done {
+				finished = cap
+				delete(g.captures, pk.SrcMAC)
+			}
+			info.SetupPackets = cap.Len()
 		}
-		info.SetupPackets = cap.Len()
 	}
 	g.mu.Unlock()
 
 	if finished != nil {
-		if err := g.assess(pk.SrcMAC, finished.Fingerprint(), ts); err != nil {
-			return sdn.ActionDrop, fmt.Errorf("gateway: assess %v: %w", pk.SrcMAC, err)
-		}
+		// An assessment failure quarantines the device (fail closed)
+		// instead of wedging it in monitoring; the packet then falls
+		// through to the switch under the strict quarantine rule.
+		g.assess(pk.SrcMAC, finished.Fingerprint(), ts)
 	}
 
 	g.mu.Lock()
@@ -165,7 +204,10 @@ func (g *Gateway) HandlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, err
 }
 
 // FinishSetup force-completes the setup phase of a monitored device
-// (e.g. when the operator confirms induction ended) and assesses it.
+// (e.g. when the operator confirms induction ended) and assesses it. If
+// the security service is unavailable the device is quarantined rather
+// than lost; FinishSetup still returns nil in that case — inspect the
+// device state to distinguish assessed from quarantined.
 func (g *Gateway) FinishSetup(mac packet.MAC, now time.Time) error {
 	g.mu.Lock()
 	cap, ok := g.captures[mac]
@@ -176,7 +218,8 @@ func (g *Gateway) FinishSetup(mac packet.MAC, now time.Time) error {
 	if !ok {
 		return fmt.Errorf("gateway: device %v is not being monitored", mac)
 	}
-	return g.assess(mac, cap.Fingerprint(), now)
+	g.assess(mac, cap.Fingerprint(), now)
+	return nil
 }
 
 // FinishAllSetups force-completes the setup phase of every device still
@@ -206,13 +249,26 @@ func (g *Gateway) FinishAllSetups(now time.Time) (int, error) {
 		return 0, nil
 	}
 	assessments, err := assessAll(g.assessor, fps)
-	if err != nil {
-		return 0, fmt.Errorf("gateway: batch assess: %w", err)
+	if err == nil {
+		for i, a := range assessments {
+			g.apply(macs[i], a, now)
+		}
+		return len(macs), nil
 	}
-	for i, a := range assessments {
-		g.apply(macs[i], a, now)
+	// Degraded path: the batch failed, so fall back to per-fingerprint
+	// calls, quarantining each failure individually — a flaky service
+	// loses some assessments to the retry queue, not the whole batch.
+	assessed := 0
+	for i, mac := range macs {
+		a, aerr := g.assessor.Assess(fps[i])
+		if aerr != nil {
+			g.quarantineDevice(mac, fps[i], now, aerr)
+			continue
+		}
+		g.apply(mac, a, now)
+		assessed++
 	}
-	return len(macs), nil
+	return assessed, nil
 }
 
 // assessAll uses the service's batch capability when it has one and
@@ -232,14 +288,137 @@ func assessAll(assessor iotssp.Assessor, fps []fingerprint.Fingerprint) ([]iotss
 	return out, nil
 }
 
-// assess queries the IoTSSP and installs the enforcement rule.
-func (g *Gateway) assess(mac packet.MAC, fp fingerprint.Fingerprint, now time.Time) error {
+// assess queries the IoTSSP and installs the enforcement rule; on
+// failure the device is quarantined fail-closed instead.
+func (g *Gateway) assess(mac packet.MAC, fp fingerprint.Fingerprint, now time.Time) {
 	a, err := g.assessor.Assess(fp)
 	if err != nil {
-		return err
+		g.quarantineDevice(mac, fp, now, err)
+		return
 	}
 	g.apply(mac, a, now)
-	return nil
+}
+
+// quarantineDevice isolates a device whose assessment failed: a strict
+// fail-closed rule replaces whatever was installed, the device enters
+// StateQuarantined, and its fingerprint is parked (queue permitting)
+// for the retry worker to drain once the service recovers.
+func (g *Gateway) quarantineDevice(mac packet.MAC, fp fingerprint.Fingerprint, now time.Time, cause error) {
+	g.sw.Controller().Quarantine(mac)
+	g.sw.InvalidateDevice(mac)
+
+	g.mu.Lock()
+	info := g.devices[mac]
+	if info == nil {
+		info = &DeviceInfo{MAC: mac, FirstSeen: now}
+		g.devices[mac] = info
+	}
+	info.State = StateQuarantined
+	info.Level = sdn.Strict
+	if info.QuarantinedAt.IsZero() {
+		info.QuarantinedAt = now
+	}
+	info.AssessAttempts++
+	if q, queued := g.quarantine[mac]; queued {
+		q.fp = fp
+	} else if len(g.quarantine) < g.maxQuarantined() {
+		g.quarantine[mac] = &quarantined{fp: fp, since: now}
+	}
+	snapshot := *info
+	g.mu.Unlock()
+
+	if g.cfg.OnQuarantined != nil {
+		g.cfg.OnQuarantined(snapshot, cause)
+	}
+}
+
+func (g *Gateway) maxQuarantined() int {
+	if g.cfg.MaxQuarantined > 0 {
+		return g.cfg.MaxQuarantined
+	}
+	return 1024
+}
+
+// QuarantineLen returns the number of fingerprints parked for retry.
+func (g *Gateway) QuarantineLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.quarantine)
+}
+
+// RetryQuarantined re-submits parked fingerprints to the security
+// service in MAC order, promoting each device to its assessed state on
+// success. The drain stops at the first failure — the service is
+// evidently still down (or its circuit breaker is open), so hammering
+// the rest of the queue would only burn backoff budget. It returns the
+// number of devices promoted and the error that stopped the drain.
+func (g *Gateway) RetryQuarantined(now time.Time) (int, error) {
+	g.mu.Lock()
+	macs := make([]packet.MAC, 0, len(g.quarantine))
+	for mac := range g.quarantine {
+		macs = append(macs, mac)
+	}
+	sort.Slice(macs, func(i, j int) bool {
+		return bytes.Compare(macs[i][:], macs[j][:]) < 0
+	})
+	fps := make([]fingerprint.Fingerprint, len(macs))
+	for i, mac := range macs {
+		fps[i] = g.quarantine[mac].fp
+	}
+	g.mu.Unlock()
+
+	promoted := 0
+	for i, mac := range macs {
+		a, err := g.assessor.Assess(fps[i])
+		if err != nil {
+			g.mu.Lock()
+			if info := g.devices[mac]; info != nil && info.State == StateQuarantined {
+				info.AssessAttempts++
+			}
+			g.mu.Unlock()
+			return promoted, err
+		}
+		g.mu.Lock()
+		_, still := g.quarantine[mac]
+		g.mu.Unlock()
+		if !still {
+			// Removed concurrently (RemoveDevice or a parallel drain).
+			continue
+		}
+		g.apply(mac, a, now)
+		promoted++
+	}
+	return promoted, nil
+}
+
+// FinalizeIdleCaptures completes the setup phase of monitored devices
+// whose capture has been idle past its IdleGap. Completion is normally
+// detected on the device's *next* packet; a device that sends a few
+// packets and goes silent would otherwise pin its capture forever, so
+// the expiry worker sweeps these. Returns the number of devices
+// finalized (each is assessed, or quarantined if the service is down).
+func (g *Gateway) FinalizeIdleCaptures(now time.Time) int {
+	g.mu.Lock()
+	var macs []packet.MAC
+	for mac, cap := range g.captures {
+		if cap.Len() > 0 && now.Sub(cap.LastSeen()) >= cap.IdleGap {
+			macs = append(macs, mac)
+		}
+	}
+	sort.Slice(macs, func(i, j int) bool {
+		return bytes.Compare(macs[i][:], macs[j][:]) < 0
+	})
+	fps := make([]fingerprint.Fingerprint, len(macs))
+	for i, mac := range macs {
+		fps[i] = g.captures[mac].Fingerprint()
+		delete(g.captures, mac)
+	}
+	g.mu.Unlock()
+
+	for i, mac := range macs {
+		g.assess(mac, fps[i], now)
+	}
+	return len(macs)
 }
 
 // apply installs the enforcement rule for one assessment and fires the
@@ -265,6 +444,9 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 	info.Level = a.Level
 	info.AssessedAt = now
 	info.Vulnerabilities = a.Vulnerabilities
+	info.QuarantinedAt = time.Time{}
+	info.AssessAttempts = 0
+	delete(g.quarantine, mac)
 	snapshot := *info
 	g.mu.Unlock()
 
@@ -293,6 +475,7 @@ func (g *Gateway) RemoveDevice(mac packet.MAC) {
 	g.mu.Lock()
 	delete(g.devices, mac)
 	delete(g.captures, mac)
+	delete(g.quarantine, mac)
 	g.mu.Unlock()
 	g.sw.Controller().Rules().Remove(mac)
 	g.sw.InvalidateDevice(mac)

@@ -255,7 +255,7 @@ func (failingAssessor) Assess(fingerprint.Fingerprint) (iotssp.Assessment, error
 	return iotssp.Assessment{}, errors.New("service unreachable")
 }
 
-func TestAssessorFailureSurfaces(t *testing.T) {
+func TestAssessorFailureQuarantines(t *testing.T) {
 	cache := sdn.NewRuleCache()
 	ctrl := sdn.NewController(cache, netip.Prefix{})
 	sw := sdn.NewSwitch(ctrl, time.Minute)
@@ -269,13 +269,28 @@ func TestAssessorFailureSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Second packet hits MaxSetupPackets and triggers the failing
-	// assessment; the packet must be dropped and the error surfaced.
-	act, err := g.HandlePacket(base.Add(time.Millisecond), pk)
-	if err == nil {
-		t.Fatal("assessor failure not surfaced")
+	// assessment: the device must be quarantined fail-closed, not left
+	// wedged in monitoring with a surfaced error.
+	if _, err := g.HandlePacket(base.Add(time.Millisecond), pk); err != nil {
+		t.Fatalf("assessor failure must quarantine, not error: %v", err)
+	}
+	info, ok := g.Device(mac)
+	if !ok || info.State != StateQuarantined {
+		t.Fatalf("device = %+v, ok=%v, want quarantined", info, ok)
+	}
+	rule, ok := g.Switch().Controller().Rules().Get(mac)
+	if !ok || rule.Level != sdn.Strict || rule.DeviceType != sdn.QuarantineType {
+		t.Errorf("quarantine rule = %+v, ok=%v", rule, ok)
+	}
+	// Internet-bound traffic from the quarantined device is dropped.
+	blocked := packet.NewTCPSyn(mac, packet.MAC{2, 2, 2, 2, 2, 2},
+		netip.MustParseAddr("192.168.1.9"), netip.MustParseAddr("93.184.216.34"), 40000, 443)
+	act, err := g.HandlePacket(base.Add(2*time.Millisecond), blocked)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if act != sdn.ActionDrop {
-		t.Error("packet forwarded despite failed assessment")
+		t.Error("quarantined device reached the internet")
 	}
 }
 

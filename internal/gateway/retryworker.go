@@ -1,0 +1,57 @@
+package gateway
+
+import (
+	"time"
+)
+
+// RetryWorker periodically drains the gateway's quarantine queue,
+// re-submitting parked fingerprints to the security service and
+// promoting devices whose assessment now succeeds. When the service's
+// circuit breaker is open the drain fails fast on its first call, so an
+// idle tick costs one rejected request at most; once the breaker
+// half-opens, the probe doubles as the first re-assessment. Same
+// managed-goroutine pattern as ExpiryWorker.
+type RetryWorker struct {
+	stop chan struct{}
+	done chan struct{}
+	// promoted counts devices promoted out of quarantine, readable
+	// after Shutdown.
+	promoted int
+}
+
+// NewRetryWorker starts a drain loop over the gateway's quarantine
+// queue with the given period (non-positive selects 5 s).
+func NewRetryWorker(g *Gateway, period time.Duration) *RetryWorker {
+	if period <= 0 {
+		period = 5 * time.Second
+	}
+	w := &RetryWorker{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go w.run(g, period)
+	return w
+}
+
+func (w *RetryWorker) run(g *Gateway, period time.Duration) {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	defer close(w.done)
+	for {
+		select {
+		case now := <-ticker.C:
+			n, _ := g.RetryQuarantined(now)
+			w.promoted += n
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Shutdown stops the worker and waits for it to exit, returning the
+// number of devices it promoted. It is safe to call at most once.
+func (w *RetryWorker) Shutdown() int {
+	close(w.stop)
+	<-w.done
+	return w.promoted
+}

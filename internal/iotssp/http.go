@@ -2,11 +2,14 @@ package iotssp
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/netip"
+	"time"
 
 	"iotsentinel/internal/core"
 	"iotsentinel/internal/features"
@@ -33,9 +36,10 @@ type assessResponse struct {
 }
 
 type vulnJSON struct {
-	ID       string `json:"id"`
-	Severity string `json:"severity"`
-	Summary  string `json:"summary"`
+	ID            string `json:"id"`
+	Severity      string `json:"severity"`
+	Summary       string `json:"summary"`
+	FixedInUpdate bool   `json:"fixedInUpdate,omitempty"`
 }
 
 // Handler serves the service API:
@@ -103,6 +107,7 @@ func toWire(a Assessment) assessResponse {
 	for _, v := range a.Vulnerabilities {
 		resp.Vulnerabilities = append(resp.Vulnerabilities, vulnJSON{
 			ID: v.ID, Severity: v.Severity.String(), Summary: v.Summary,
+			FixedInUpdate: v.FixedInUpdate,
 		})
 	}
 	return resp
@@ -120,18 +125,67 @@ func fingerprintFromRows(rows [][]float64) (fingerprint.Fingerprint, error) {
 	return fingerprint.FromVectors(vs), nil
 }
 
-// Client is the gateway-side HTTP client for a remote service.
+// Client is the gateway-side HTTP client for a remote service. The
+// zero value (BaseURL only) behaves like a plain single-attempt client;
+// production gateways set Timeout, Retry and Breaker so a slow or down
+// service degrades the gateway gracefully instead of wedging it.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://ssp.example.com".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout bounds each HTTP attempt (0 = no per-attempt timeout).
+	Timeout time.Duration
+	// Retry bounds how transport and 5xx failures are retried; the zero
+	// value makes a single attempt.
+	Retry RetryPolicy
+	// Breaker, if set, fails calls fast while the service is known to
+	// be down, admitting a probe once its cooldown elapses.
+	Breaker *CircuitBreaker
+	// Clock injects time for backoff sleeps (default SystemClock).
+	Clock Clock
 }
 
 var _ Assessor = (*Client)(nil)
 
-// Assess posts the fingerprint to the remote service.
+// statusError records a non-200 service response; only 5xx responses
+// are retryable (4xx means the request itself is wrong).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("iotssp client: status %d: %s", e.code, e.msg)
+}
+
+// retryable reports whether a failed attempt may succeed on retry:
+// transport errors and 5xx yes, 4xx and malformed payloads no.
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	var de *decodeError
+	return !errors.As(err, &de)
+}
+
+// decodeError marks a malformed success response (not retryable).
+type decodeError struct{ err error }
+
+func (e *decodeError) Error() string { return e.err.Error() }
+func (e *decodeError) Unwrap() error { return e.err }
+
+// Assess posts the fingerprint to the remote service, applying the
+// client's timeout, retry and breaker configuration.
 func (c *Client) Assess(fp fingerprint.Fingerprint) (Assessment, error) {
+	return c.AssessContext(context.Background(), fp)
+}
+
+// AssessContext is Assess with caller-controlled cancellation: the
+// context bounds the whole call including backoff sleeps, while
+// c.Timeout bounds each individual HTTP attempt.
+func (c *Client) AssessContext(ctx context.Context, fp fingerprint.Fingerprint) (Assessment, error) {
 	rows := make([][]float64, len(fp.F))
 	for i, v := range fp.F {
 		rows[i] = append([]float64(nil), v[:]...)
@@ -140,24 +194,83 @@ func (c *Client) Assess(fp fingerprint.Fingerprint) (Assessment, error) {
 	if err != nil {
 		return Assessment{}, fmt.Errorf("iotssp client: marshal: %w", err)
 	}
+	clock := c.Clock
+	if clock == nil {
+		clock = SystemClock()
+	}
+	policy := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		if c.Breaker != nil && !c.Breaker.Allow() {
+			if lastErr != nil {
+				return Assessment{}, fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, lastErr)
+			}
+			return Assessment{}, ErrCircuitOpen
+		}
+		a, err := c.post(ctx, payload)
+		if c.Breaker != nil {
+			// 4xx and decode failures mean the service answered: they
+			// count as service-alive for breaker purposes.
+			if err != nil && retryable(err) {
+				c.Breaker.Record(err)
+			} else {
+				c.Breaker.Record(nil)
+			}
+		}
+		if err == nil {
+			return a, nil
+		}
+		if !retryable(err) {
+			return Assessment{}, err
+		}
+		lastErr = err
+		if attempt < policy.MaxAttempts {
+			if serr := clock.Sleep(ctx, policy.Backoff(attempt)); serr != nil {
+				return Assessment{}, fmt.Errorf("iotssp client: %w (last error: %v)", serr, lastErr)
+			}
+		}
+	}
+	if policy.MaxAttempts > 1 {
+		return Assessment{}, fmt.Errorf("iotssp client: %d attempts failed: %w", policy.MaxAttempts, lastErr)
+	}
+	return Assessment{}, lastErr
+}
+
+// post performs one HTTP attempt under the per-attempt timeout.
+func (c *Client) post(ctx context.Context, payload []byte) (Assessment, error) {
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/assess", bytes.NewReader(payload))
+	if err != nil {
+		return Assessment{}, fmt.Errorf("iotssp client: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	resp, err := hc.Post(c.BaseURL+"/v1/assess", "application/json", bytes.NewReader(payload))
+	resp, err := hc.Do(req)
 	if err != nil {
 		return Assessment{}, fmt.Errorf("iotssp client: post: %w", err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return Assessment{}, fmt.Errorf("iotssp client: status %d: %s", resp.StatusCode, msg)
+		return Assessment{}, &statusError{code: resp.StatusCode, msg: string(msg)}
 	}
 	var wire assessResponse
 	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
-		return Assessment{}, fmt.Errorf("iotssp client: decode: %w", err)
+		return Assessment{}, &decodeError{err: fmt.Errorf("iotssp client: decode: %w", err)}
 	}
-	return fromWire(wire)
+	a, err := fromWire(wire)
+	if err != nil {
+		return Assessment{}, &decodeError{err: err}
+	}
+	return a, nil
 }
 
 func fromWire(w assessResponse) (Assessment, error) {
@@ -180,7 +293,13 @@ func fromWire(w assessResponse) (Assessment, error) {
 		a.PermittedIPs = append(a.PermittedIPs, ip)
 	}
 	for _, v := range w.Vulnerabilities {
-		a.Vulnerabilities = append(a.Vulnerabilities, vulndb.Record{ID: v.ID, Summary: v.Summary})
+		sev, err := vulndb.ParseSeverity(v.Severity)
+		if err != nil {
+			return Assessment{}, fmt.Errorf("iotssp client: vulnerability %s: %w", v.ID, err)
+		}
+		a.Vulnerabilities = append(a.Vulnerabilities, vulndb.Record{
+			ID: v.ID, Severity: sev, Summary: v.Summary, FixedInUpdate: v.FixedInUpdate,
+		})
 	}
 	return a, nil
 }

@@ -135,7 +135,15 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Errorf("PermittedIPs = %v", a.PermittedIPs)
 	}
 	if len(a.Vulnerabilities) == 0 {
-		t.Error("vulnerabilities lost over the wire")
+		t.Fatal("vulnerabilities lost over the wire")
+	}
+	// EdnetCam's top record is critical with no fix; the gateway's
+	// Sect. III-C3 notification depends on both fields surviving.
+	if a.Vulnerabilities[0].Severity != vulndb.SeverityCritical {
+		t.Errorf("severity lost over the wire: %+v", a.Vulnerabilities[0])
+	}
+	if a.Vulnerabilities[0].FixedInUpdate {
+		t.Errorf("FixedInUpdate corrupted over the wire: %+v", a.Vulnerabilities[0])
 	}
 }
 

@@ -1,0 +1,242 @@
+package iotssp
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Fault-tolerance primitives for the gateway↔service path. The paper's
+// Security Gateway depends on a remote IoT Security Service for every
+// assessment (Sect. III); at production scale that service will be
+// slow, flaky, or down some of the time, so the client wraps each call
+// in a per-request timeout, bounded retries with exponential backoff
+// and deterministic jitter, and a circuit breaker that fails fast while
+// the service is known to be unavailable. Time is injected through
+// Clock so every delay and state transition is testable without real
+// sleeps.
+
+// Clock abstracts wall time and delay for the retry and breaker logic.
+// Production code uses SystemClock; tests inject a fake that records
+// sleeps and advances virtually.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SystemClock returns the real wall clock.
+func SystemClock() Clock { return systemClock{} }
+
+// RetryPolicy bounds how a failed service call is retried. The zero
+// value makes a single attempt (no retry), preserving the behaviour of
+// clients that predate the policy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (values below 1 mean 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps every backoff (default 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// JitterFrac spreads each delay by ±JitterFrac (default 0.2) so a
+	// fleet of gateways does not retry in lockstep.
+	JitterFrac float64
+	// Seed makes the jitter sequence deterministic; two policies with
+	// the same seed produce identical delays.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.JitterFrac < 0 || p.JitterFrac >= 1 {
+		p.JitterFrac = 0.2
+	}
+	return p
+}
+
+// Backoff returns the delay to sleep before retry attempt (1-based:
+// attempt 1 is the delay after the first failure). The delay grows
+// exponentially from BaseDelay, is capped at MaxDelay, and carries a
+// deterministic jitter derived from (Seed, attempt) so tests can assert
+// exact timings.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	// frac in [0,1) from a splitmix64-style hash: deterministic per
+	// (seed, attempt), uncorrelated across attempts.
+	frac := float64(splitmix64(p.Seed^uint64(attempt)*0x9e3779b97f4a7c15)>>11) / float64(1<<53)
+	d *= 1 + p.JitterFrac*(2*frac-1)
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ErrCircuitOpen is returned (wrapped) when the breaker rejects a call
+// without contacting the service.
+var ErrCircuitOpen = errors.New("iotssp: circuit breaker open")
+
+// BreakerState is the circuit breaker's mode.
+type BreakerState int
+
+// Breaker states: closed passes calls through, open fails them fast,
+// half-open admits a single probe after the cooldown.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the lowercase state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// CircuitBreaker trips after a run of consecutive failures and fails
+// calls fast until a cooldown elapses; it then admits one probe
+// (half-open) and closes again on success. All transitions use the
+// injected clock.
+type CircuitBreaker struct {
+	mu        sync.Mutex
+	clock     Clock
+	threshold int
+	cooldown  time.Duration
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewCircuitBreaker returns a closed breaker that opens after threshold
+// consecutive failures and half-opens cooldown later. Non-positive
+// arguments select the defaults (5 failures, 30s); a nil clock selects
+// SystemClock.
+func NewCircuitBreaker(threshold int, cooldown time.Duration, clock Clock) *CircuitBreaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	if clock == nil {
+		clock = SystemClock()
+	}
+	return &CircuitBreaker{clock: clock, threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a call may proceed, transitioning open →
+// half-open once the cooldown has elapsed. In half-open only one probe
+// is admitted at a time.
+func (b *CircuitBreaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports a call outcome: nil closes the breaker, an error
+// counts toward the threshold (and re-opens immediately from
+// half-open).
+func (b *CircuitBreaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = b.clock.Now()
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.clock.Now()
+	}
+}
+
+// State returns the breaker's current mode (without triggering the
+// open → half-open transition, which happens in Allow).
+func (b *CircuitBreaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,65 @@
+package iotssp
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/vulndb"
+)
+
+// TestWireSymmetry pins the regression where fromWire dropped Severity
+// and FixedInUpdate (and vulnJSON never carried FixedInUpdate at all):
+// a gateway behind the HTTP client could never fire the Sect. III-C3
+// critical-vulnerability notification. Every field must survive
+// toWire → fromWire unchanged.
+func TestWireSymmetry(t *testing.T) {
+	in := Assessment{
+		Type:  core.TypeID("EdnetCam"),
+		Known: true,
+		Level: sdn.Restricted,
+		PermittedIPs: []netip.Addr{
+			netip.MustParseAddr("52.20.7.7"),
+			netip.MustParseAddr("2001:db8::1"),
+		},
+		Vulnerabilities: []vulndb.Record{
+			{ID: "RPR-1", Severity: vulndb.SeverityCritical, Summary: "default creds"},
+			{ID: "RPR-2", Severity: vulndb.SeverityHigh, Summary: "cmd injection", FixedInUpdate: true},
+			{ID: "RPR-3", Severity: vulndb.SeverityMedium, Summary: "cleartext"},
+			{ID: "RPR-4", Severity: vulndb.SeverityLow, Summary: "verbose banner"},
+		},
+	}
+	out, err := fromWire(toWire(in))
+	if err != nil {
+		t.Fatalf("fromWire: %v", err)
+	}
+	// DeviceType is intentionally not carried per record on the wire.
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("wire round-trip mutated the assessment:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestWireSymmetryAllLevels(t *testing.T) {
+	for _, level := range []sdn.IsolationLevel{sdn.Strict, sdn.Restricted, sdn.Trusted} {
+		in := Assessment{Type: "X", Known: true, Level: level}
+		out, err := fromWire(toWire(in))
+		if err != nil {
+			t.Fatalf("level %v: %v", level, err)
+		}
+		if out.Level != level {
+			t.Errorf("level %v round-tripped to %v", level, out.Level)
+		}
+	}
+}
+
+func TestFromWireRejectsBadSeverity(t *testing.T) {
+	w := assessResponse{
+		Type: "X", Known: true, Level: "trusted",
+		Vulnerabilities: []vulnJSON{{ID: "V", Severity: "apocalyptic"}},
+	}
+	if _, err := fromWire(w); err == nil {
+		t.Error("unknown severity must be rejected, not silently zeroed")
+	}
+}

@@ -1,0 +1,51 @@
+package sdn
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/packet"
+)
+
+func TestControllerQuarantine(t *testing.T) {
+	cache := NewRuleCache()
+	c := NewController(cache, netip.Prefix{})
+	mac := packet.MAC{0x02, 1, 2, 3, 4, 5}
+
+	c.Quarantine(mac)
+	rule, ok := cache.Get(mac)
+	if !ok {
+		t.Fatal("quarantine rule not installed")
+	}
+	if rule.Level != Strict || rule.DeviceType != QuarantineType {
+		t.Fatalf("rule = %+v", rule)
+	}
+
+	// A quarantined device has no Internet access.
+	dec := c.PacketIn(packet.FlowKey{
+		SrcMAC: mac, DstMAC: packet.MAC{2, 2, 2, 2, 2, 2},
+		SrcIP: netip.MustParseAddr("192.168.1.50"),
+		DstIP: netip.MustParseAddr("93.184.216.34"),
+	}, time.Unix(0, 0))
+	if dec.Action != ActionDrop {
+		t.Errorf("internet flow = %+v, want drop", dec)
+	}
+
+	// Quarantine replaces an existing (e.g. trusted) rule fail-closed,
+	// and a later real assessment replaces the quarantine rule back.
+	cache.Put(&EnforcementRule{DeviceMAC: mac, Level: Trusted, DeviceType: "HueBridge"})
+	c.Quarantine(mac)
+	rule, _ = cache.Get(mac)
+	if rule.Level != Strict || rule.DeviceType != QuarantineType {
+		t.Errorf("quarantine did not replace rule: %+v", rule)
+	}
+	cache.Put(&EnforcementRule{DeviceMAC: mac, Level: Trusted, DeviceType: "HueBridge"})
+	rule, _ = cache.Get(mac)
+	if rule.Level != Trusted || rule.DeviceType != "HueBridge" {
+		t.Errorf("assessment did not replace quarantine: %+v", rule)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("rule cache holds %d rules, want 1 (replace, not add)", cache.Len())
+	}
+}

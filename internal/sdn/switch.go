@@ -93,6 +93,19 @@ func (c *Controller) isLocal(addr netip.Addr) bool {
 // Rules exposes the enforcement-rule cache.
 func (c *Controller) Rules() *RuleCache { return c.rules }
 
+// QuarantineType is the DeviceType marker carried by fail-closed rules
+// installed while a device's assessment is pending retry.
+const QuarantineType = "quarantined"
+
+// Quarantine installs — or replaces an existing rule with — a strict,
+// fail-closed rule for a device whose assessment failed: per the
+// paper's untrusted-by-default posture (Sect. III-B), a device the
+// service could not vouch for gets no Internet access and stays in the
+// untrusted overlay until a later assessment succeeds.
+func (c *Controller) Quarantine(mac packet.MAC) {
+	c.rules.Put(&EnforcementRule{DeviceMAC: mac, Level: Strict, DeviceType: QuarantineType})
+}
+
 // SetFiltering toggles enforcement (true = filter, false = forward
 // everything), matching the with/without-filtering measurement modes.
 func (c *Controller) SetFiltering(on bool) {

@@ -40,6 +40,23 @@ func (s Severity) String() string {
 	}
 }
 
+// ParseSeverity maps a severity name (as produced by Severity.String)
+// back to its level, so records survive a wire round-trip intact.
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return SeverityLow, nil
+	case "medium":
+		return SeverityMedium, nil
+	case "high":
+		return SeverityHigh, nil
+	case "critical":
+		return SeverityCritical, nil
+	default:
+		return 0, fmt.Errorf("vulndb: unknown severity %q", s)
+	}
+}
+
 // Record is one CVE-style vulnerability entry.
 type Record struct {
 	// ID is the advisory identifier (CVE-style).

@@ -110,3 +110,21 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("racer records = %d, want 800", got)
 	}
 }
+
+func TestParseSeverityRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SeverityLow, SeverityMedium, SeverityHigh, SeverityCritical} {
+		got, err := ParseSeverity(s.String())
+		if err != nil {
+			t.Fatalf("ParseSeverity(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("ParseSeverity(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if got, err := ParseSeverity("CRITICAL"); err != nil || got != SeverityCritical {
+		t.Errorf("ParseSeverity is case-insensitive: got %v, %v", got, err)
+	}
+	if _, err := ParseSeverity("apocalyptic"); err == nil {
+		t.Error("unknown severity must error")
+	}
+}

@@ -73,6 +73,17 @@ const (
 	Trusted    = sdn.Trusted
 )
 
+// Device lifecycle states, as reported by DeviceInfo.State. A device is
+// monitored during its setup phase, assessed once the security service
+// answers, and quarantined (isolated fail-closed at Strict) when the
+// service is unreachable — Gateway.RetryQuarantined or a
+// gateway.RetryWorker promotes it once the service recovers.
+const (
+	StateMonitoring  = gateway.StateMonitoring
+	StateAssessed    = gateway.StateAssessed
+	StateQuarantined = gateway.StateQuarantined
+)
+
 // Option configures training and the assembled Sentinel.
 type Option interface {
 	apply(*options)
@@ -287,6 +298,12 @@ func WithAssessedHook(fn func(DeviceInfo)) Option {
 // whose critical vulnerabilities have no firmware fix.
 func WithNotifyHook(fn func(Notification)) Option {
 	return optionFunc(func(o *options) { o.gwCfg.OnNotify = fn })
+}
+
+// WithQuarantineHook installs a callback fired each time a device
+// assessment fails and the device is isolated at Strict pending retry.
+func WithQuarantineHook(fn func(DeviceInfo, error)) Option {
+	return optionFunc(func(o *options) { o.gwCfg.OnQuarantined = fn })
 }
 
 // WithSetupIdleGap sets how long a device must stay silent before its
