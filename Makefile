@@ -1,13 +1,15 @@
 # IoT Sentinel build/test entry points. `make verify` is the tier-1
 # gate (vet + gofmt check + build + full test suite + a short -race
-# pass over the gateway); `make test-race` covers the concurrent
-# classifier bank, gateway and enforcement plane in full; `make bench`
-# runs every paper-table benchmark plus the parallel train/identify
-# sweeps.
+# pass over the gateway and the metrics registry); `make test-race`
+# covers the concurrent classifier bank, gateway and enforcement plane
+# in full; `make bench` runs every paper-table benchmark plus the
+# parallel train/identify sweeps; `make bench-json` archives the
+# hot-path benchmarks as BENCH_<date>.json for cross-commit diffing.
 
 GO ?= go
+BENCH_PKGS ?= ./internal/...
 
-.PHONY: all build vet fmt-check verify test test-race bench bench-parallel clean
+.PHONY: all build vet fmt-check verify test test-race bench bench-parallel bench-json clean
 
 all: verify
 
@@ -17,7 +19,7 @@ fmt-check:
 
 verify: vet fmt-check build
 	$(GO) test ./...
-	$(GO) test -race -count=1 ./internal/gateway/...
+	$(GO) test -race -count=1 ./internal/gateway/... ./internal/obs/...
 
 build:
 	$(GO) build ./...
@@ -36,6 +38,11 @@ bench:
 
 bench-parallel:
 	$(GO) test -bench='BenchmarkTrainParallel|BenchmarkIdentifyBatch|BenchmarkIdentifySharedBank' -benchmem -run='^$$' .
+
+bench-json:
+	$(GO) test -bench=. -benchmem -run='^$$' $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 clean:
 	$(GO) clean ./...

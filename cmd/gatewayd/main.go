@@ -8,6 +8,7 @@
 //	gatewayd -api 127.0.0.1:8080                       # in-process IoTSSP
 //	gatewayd -api 127.0.0.1:8080 -ssp http://host:8477 # remote IoTSSP
 //	gatewayd -replay ./dataset -api 127.0.0.1:8080     # replay pcaps, then serve
+//	gatewayd -metrics-addr 127.0.0.1:9090              # also serve /metrics + pprof
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -31,6 +33,7 @@ import (
 	"iotsentinel/internal/fingerprint"
 	"iotsentinel/internal/gateway"
 	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/obs"
 	"iotsentinel/internal/packet"
 	"iotsentinel/internal/pcap"
 	"iotsentinel/internal/sdn"
@@ -57,19 +60,31 @@ func run(args []string, out io.Writer) error {
 		assessTimeout = fs.Duration("assess-timeout", 10*time.Second, "per-attempt timeout for remote IoTSSP calls")
 		assessRetries = fs.Int("assess-retries", 3, "additional attempts after a failed remote IoTSSP call")
 		retryPeriod   = fs.Duration("retry-period", 5*time.Second, "how often quarantined devices are re-assessed")
+		metricsAddr   = fs.String("metrics-addr", "", "listen address for /metrics and /debug/pprof (default: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	assessor, err := buildAssessor(out, *sspURL, *captures, *seed, *workers, *assessTimeout, *assessRetries)
+	var reg *obs.Registry
+	var gwMetrics *gateway.Metrics
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		gwMetrics = gateway.NewMetrics(reg)
+	}
+
+	assessor, err := buildAssessor(out, reg, *sspURL, *captures, *seed, *workers, *assessTimeout, *assessRetries)
 	if err != nil {
 		return err
 	}
 	cache := sdn.NewRuleCache()
 	ctrl := sdn.NewController(cache, mustPrefix())
 	sw := sdn.NewSwitch(ctrl, 30*time.Second)
+	if reg != nil {
+		sw.SetMetrics(sdn.NewSwitchMetrics(reg))
+	}
 	gw := gateway.New(assessor, sw, gateway.Config{
+		Metrics: gwMetrics,
 		OnAssessed: func(d gateway.DeviceInfo) {
 			fmt.Fprintf(out, "assessed %v as %q -> %s\n", d.MAC, orUnknown(string(d.Type)), d.Level)
 		},
@@ -88,6 +103,17 @@ func run(args []string, out io.Writer) error {
 	}
 	if *oneshot {
 		return nil
+	}
+
+	if reg != nil {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		msrv := &http.Server{Handler: metricsMux(reg), ReadHeaderTimeout: 10 * time.Second}
+		fmt.Fprintf(out, "metrics listening on http://%s/metrics\n", mln.Addr())
+		go func() { _ = msrv.Serve(mln) }()
+		defer func() { _ = msrv.Close() }()
 	}
 
 	// Housekeeping workers: flow-table sweep + idle-capture finalizer,
@@ -127,19 +153,25 @@ func run(args []string, out io.Writer) error {
 // client gets the full fault-tolerance stack: per-attempt timeout,
 // bounded retries with backoff, and a circuit breaker so a down service
 // fails fast instead of stalling the data path.
-func buildAssessor(out io.Writer, sspURL string, captures int, seed int64, workers int,
+func buildAssessor(out io.Writer, reg *obs.Registry, sspURL string, captures int, seed int64, workers int,
 	assessTimeout time.Duration, assessRetries int) (iotssp.Assessor, error) {
 	if sspURL != "" {
 		fmt.Fprintf(out, "using remote IoT Security Service at %s\n", sspURL)
 		if assessRetries < 0 {
 			assessRetries = 0
 		}
-		return &iotssp.Client{
+		breaker := iotssp.NewCircuitBreaker(0, 0, nil)
+		client := &iotssp.Client{
 			BaseURL: strings.TrimRight(sspURL, "/"),
 			Timeout: assessTimeout,
 			Retry:   iotssp.RetryPolicy{MaxAttempts: assessRetries + 1, Seed: uint64(seed)},
-			Breaker: iotssp.NewCircuitBreaker(0, 0, nil),
-		}, nil
+			Breaker: breaker,
+		}
+		if reg != nil {
+			client.Metrics = iotssp.NewClientMetrics(reg)
+			client.Metrics.ObserveBreaker(breaker)
+		}
+		return client, nil
 	}
 	fmt.Fprintf(out, "training in-process IoT Security Service (%d captures x 27 types)...\n", captures)
 	raw := devices.GenerateDataset(captures, seed)
@@ -151,7 +183,24 @@ func buildAssessor(out io.Writer, sspURL string, captures int, seed int64, worke
 	if err != nil {
 		return nil, err
 	}
+	if reg != nil {
+		id.SetMetrics(core.NewMetrics(reg))
+	}
 	return iotssp.New(id, vulndb.NewDefault()), nil
+}
+
+// metricsMux serves the observability endpoints: Prometheus-text
+// /metrics plus the standard pprof handlers, on their own listener so
+// operational traffic never mixes with the management API.
+func metricsMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // replay feeds every pcap in dir through the gateway's data path in

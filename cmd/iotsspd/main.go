@@ -8,6 +8,7 @@
 //
 //	iotsspd -listen :8477                      # train on the reference dataset
 //	iotsspd -listen :8477 -model model.json    # serve a saved model
+//	iotsspd -metrics-addr 127.0.0.1:9091       # also serve /metrics + pprof
 //
 // Endpoints: POST /v1/assess, GET /v1/types (see internal/iotssp).
 package main
@@ -20,6 +21,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"iotsentinel/internal/devices"
 	"iotsentinel/internal/fingerprint"
 	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/obs"
 	"iotsentinel/internal/vulndb"
 )
 
@@ -46,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		captures      = fs.Int("captures", 20, "training captures per type when no model is given")
 		seed          = fs.Int64("seed", 1, "random seed")
 		assessTimeout = fs.Duration("assess-timeout", 30*time.Second, "server-side cap per assessment request (0 = unlimited); gateways retry 503s")
+		metricsAddr   = fs.String("metrics-addr", "", "listen address for /metrics and /debug/pprof (default: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +81,26 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	svc := iotssp.New(id, vulndb.NewDefault())
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		id.SetMetrics(core.NewMetrics(reg))
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		msrv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		fmt.Fprintf(out, "metrics listening on http://%s/metrics\n", mln.Addr())
+		go func() { _ = msrv.Serve(mln) }()
+		defer func() { _ = msrv.Close() }()
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -83,6 +83,11 @@ func (c Config) normalize() (Config, error) {
 type typeModel struct {
 	forest *rf.Forest
 	refs   []fingerprint.F
+	// refset holds the references pre-interned once at build time, so
+	// discrimination interns each candidate once per model instead of
+	// re-hashing all references for every candidate of every
+	// identification.
+	refset *editdist.RefSet
 }
 
 // Identifier is a trained device-type identification pipeline. The
@@ -95,14 +100,18 @@ type typeModel struct {
 type Identifier struct {
 	cfg Config
 
-	// mu guards models, pool and types. Models themselves are immutable
-	// after construction, so readers only need the map/slice snapshot.
+	// mu guards models, pool, types and metrics. Models themselves are
+	// immutable after construction, so readers only need the map/slice
+	// snapshot.
 	mu     sync.RWMutex
 	models map[TypeID]*typeModel
 	pool   map[TypeID][]fingerprint.Fingerprint
 	// types caches the sorted type list so the per-identification hot
 	// path does not re-sort the bank.
 	types []TypeID
+	// metrics, when non-nil, receives one observation per
+	// identification (see SetMetrics); updates are atomic adds.
+	metrics *Metrics
 }
 
 // Train builds one classifier per device-type from labelled
@@ -272,7 +281,7 @@ func (id *Identifier) buildModel(t TypeID) (*typeModel, error) {
 	for _, ri := range refIdx[:nRefs] {
 		refs = append(refs, pos[ri].F)
 	}
-	return &typeModel{forest: forest, refs: refs}, nil
+	return &typeModel{forest: forest, refs: refs, refset: editdist.NewRefSet(refs)}, nil
 }
 
 // Result reports the outcome of one identification.
@@ -307,7 +316,7 @@ const minParallelTypes = 8
 func (id *Identifier) Identify(fp fingerprint.Fingerprint) Result {
 	id.mu.RLock()
 	defer id.mu.RUnlock()
-	return id.identifyLocked(fp, id.cfg.workers())
+	return id.identifyObserved(fp, id.cfg.workers())
 }
 
 // identifyLocked is Identify with the read lock already held and an
@@ -352,23 +361,31 @@ func (id *Identifier) identifyLocked(fp fingerprint.Fingerprint, workers int) Re
 	}
 	forEachIndexed(workers, len(res.Matches), func(i int) {
 		m := id.models[res.Matches[i]]
-		for _, ref := range m.refs {
-			scores[i] += editdist.FingerprintDistance(fp.F, ref)
-			counts[i]++
-		}
+		scores[i], counts[i] = m.refset.DistanceSum(fp.F)
 	})
 	res.Scores = make(map[TypeID]float64, len(res.Matches))
-	best := Unknown
-	bestScore := float64(len(id.models)) * float64(id.cfg.RefFingerprints)
+	// Strictly-less comparison from the first match: equal dissimilarity
+	// scores resolve to the lexicographically-first candidate (Matches
+	// is sorted), sequential and parallel alike.
+	best, bestScore := res.Matches[0], scores[0]
 	for i, t := range res.Matches {
 		res.Scores[t] = scores[i]
 		res.EditDistances += counts[i]
-		if best == Unknown || scores[i] < bestScore {
+		if scores[i] < bestScore {
 			best, bestScore = t, scores[i]
 		}
 	}
 	res.DiscriminateTime = time.Since(start)
 	res.Type = best
+	return res
+}
+
+// identifyObserved is identifyLocked plus the metrics observation;
+// every public identification path funnels through it so batch and
+// single calls account identically.
+func (id *Identifier) identifyObserved(fp fingerprint.Fingerprint, workers int) Result {
+	res := id.identifyLocked(fp, workers)
+	id.metrics.observe(res)
 	return res
 }
 
@@ -419,7 +436,7 @@ func (id *Identifier) IdentifyBatch(fps []fingerprint.Fingerprint) []Result {
 		workers = len(fps)
 	}
 	forEachIndexed(workers, len(fps), func(i int) {
-		out[i] = id.identifyLocked(fps[i], 1)
+		out[i] = id.identifyObserved(fps[i], 1)
 	})
 	return out
 }

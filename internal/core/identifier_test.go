@@ -258,3 +258,51 @@ func TestDeterministicTraining(t *testing.T) {
 		}
 	}
 }
+func TestDiscriminationTieBreak(t *testing.T) {
+	// Tie-break pin: when two candidates end discrimination with equal
+	// dissimilarity scores, the lexicographically-first match wins —
+	// Matches is sorted and the winner scan uses strictly-less — and
+	// the parallel fan-out resolves identically to sequential.
+	//
+	// Exact ties are manufactured white-box: the twin types share one
+	// size alphabet (different draws), keeping both classifiers near
+	// 0.5 probability on a twin probe, and "a-near" is then given
+	// "b-near"'s reference set verbatim so both score identically. The
+	// loose accept threshold guarantees the discrimination stage runs.
+	samples := map[TypeID][]fingerprint.Fingerprint{
+		"b-near": synthTypeProto([]float64{60, 70, 80}, features.FeatUDP, 20, 15, 1),
+		"a-near": synthTypeProto([]float64{60, 70, 80}, features.FeatUDP, 20, 15, 2),
+		"z-far":  synthTypeProto([]float64{500, 510, 520}, features.FeatICMP, 20, 15, 3),
+	}
+	probe := synthTypeProto([]float64{60, 70, 80}, features.FeatUDP, 1, 15, 99)[0]
+	var want Result
+	for i, workers := range []int{1, 4} {
+		id, err := Train(samples, Config{Seed: 42, Workers: workers, AcceptThreshold: 0.2})
+		if err != nil {
+			t.Fatalf("Train(workers=%d): %v", workers, err)
+		}
+		twin := id.models["b-near"]
+		id.models["a-near"] = &typeModel{
+			forest: id.models["a-near"].forest,
+			refs:   twin.refs,
+			refset: twin.refset,
+		}
+		res := id.Identify(probe)
+		if !res.Discriminated {
+			t.Fatalf("workers=%d: probe not discriminated (matches=%v); tie-break unexercised", workers, res.Matches)
+		}
+		sa, oka := res.Scores["a-near"]
+		sb, okb := res.Scores["b-near"]
+		if !oka || !okb || sa != sb {
+			t.Fatalf("workers=%d: twin scores not tied (a=%v,%v b=%v,%v)", workers, sa, oka, sb, okb)
+		}
+		if res.Type != "a-near" {
+			t.Errorf("workers=%d: tie resolved to %q, want lexicographically-first %q", workers, res.Type, "a-near")
+		}
+		if i == 0 {
+			want = res
+		} else if res.Type != want.Type || res.EditDistances != want.EditDistances {
+			t.Errorf("workers=%d: result diverged from sequential: %+v vs %+v", workers, res, want)
+		}
+	}
+}

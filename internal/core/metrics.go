@@ -1,0 +1,67 @@
+package core
+
+import (
+	"iotsentinel/internal/obs"
+)
+
+// Metrics is the identifier's instrumentation bundle: the Table IV
+// cost split (classify vs discriminate latency, edit-distance count)
+// plus the outcome distribution (match counts, unknown rate) that the
+// paper's accuracy tables summarize offline. All children are resolved
+// at construction, so the per-identification cost is a handful of
+// atomic adds; a nil *Metrics disables instrumentation entirely.
+type Metrics struct {
+	identifications *obs.Counter
+	unknown         *obs.Counter
+	editDistances   *obs.Counter
+	classifySec     *obs.Histogram
+	discriminateSec *obs.Histogram
+	matchCount      *obs.Histogram
+}
+
+// NewMetrics registers the identifier metric family on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		identifications: reg.Counter("core_identifications_total",
+			"Device-type identifications performed."),
+		unknown: reg.Counter("core_identify_unknown_total",
+			"Identifications rejected by every classifier (unknown device-type)."),
+		editDistances: reg.Counter("core_edit_distances_total",
+			"Edit-distance computations performed by the discrimination stage."),
+		classifySec: reg.Histogram("core_classify_seconds",
+			"Classifier-bank stage latency per identification.", nil),
+		discriminateSec: reg.Histogram("core_discriminate_seconds",
+			"Edit-distance discrimination stage latency, for identifications that needed it.", nil),
+		matchCount: reg.Histogram("core_match_count",
+			"Number of accepting classifiers per identification.", obs.CountBuckets),
+	}
+}
+
+// observe records one identification outcome. Safe on a nil receiver.
+func (m *Metrics) observe(res Result) {
+	if m == nil {
+		return
+	}
+	m.identifications.Inc()
+	if res.Type == Unknown {
+		m.unknown.Inc()
+	}
+	if res.EditDistances > 0 {
+		m.editDistances.Add(uint64(res.EditDistances))
+	}
+	m.classifySec.ObserveDuration(res.ClassifyTime)
+	if res.Discriminated {
+		m.discriminateSec.ObserveDuration(res.DiscriminateTime)
+	}
+	m.matchCount.Observe(float64(len(res.Matches)))
+}
+
+// SetMetrics attaches (or, with nil, detaches) an instrumentation
+// bundle to the identifier. Like the worker bound, metrics are a
+// runtime concern with no effect on results and may be changed at any
+// time.
+func (id *Identifier) SetMetrics(m *Metrics) {
+	id.mu.Lock()
+	defer id.mu.Unlock()
+	id.metrics = m
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"iotsentinel/internal/editdist"
 	"iotsentinel/internal/features"
 	"iotsentinel/internal/fingerprint"
 	"iotsentinel/internal/ml/rf"
@@ -100,6 +101,7 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 			}
 			m.refs = append(m.refs, f)
 		}
+		m.refset = editdist.NewRefSet(m.refs)
 		id.models[t] = m
 		for i, rows := range td.Pool {
 			f, err := rowsToF(rows)

@@ -96,10 +96,80 @@ func (in *Interner) Size() int { return len(in.symbols) }
 
 // FingerprintDistance computes the normalized Damerau-Levenshtein
 // distance between two fingerprint matrices, treating each packet
-// column as one character.
+// column as one character. Each call interns both matrices through a
+// fresh table; when one side is compared against many candidates,
+// build a RefSet once instead.
 func FingerprintDistance(a, b fingerprint.F) float64 {
 	in := NewInterner()
 	return Normalized(in.Word(a), in.Word(b))
+}
+
+// RefSet is a set of reference fingerprints pre-interned once (at
+// train time) so that discrimination does not re-hash every reference
+// for every candidate. A RefSet is immutable after construction and
+// safe for concurrent use: DistanceSum resolves candidate vectors
+// against the frozen symbol table and spills novel vectors into a
+// private per-call overlay.
+type RefSet struct {
+	symbols map[features.Vector]int
+	words   [][]int
+}
+
+// NewRefSet interns the reference fingerprints into a shared frozen
+// symbol table.
+func NewRefSet(refs []fingerprint.F) *RefSet {
+	in := NewInterner()
+	words := make([][]int, len(refs))
+	for i, f := range refs {
+		words[i] = in.Word(f)
+	}
+	return &RefSet{symbols: in.symbols, words: words}
+}
+
+// Len returns the number of reference fingerprints.
+func (rs *RefSet) Len() int { return len(rs.words) }
+
+// DistanceSum returns the sum of the normalized Damerau-Levenshtein
+// distances from f to every reference, and the number of distance
+// computations performed. It is equivalent to — and replaces — calling
+// FingerprintDistance(f, ref) per reference: f is interned exactly
+// once, and the references not at all.
+func (rs *RefSet) DistanceSum(f fingerprint.F) (sum float64, n int) {
+	word := rs.wordOf(f)
+	for _, rw := range rs.words {
+		sum += Normalized(word, rw)
+	}
+	return sum, len(rs.words)
+}
+
+// wordOf converts f to its symbol sequence against the frozen table.
+// Vectors absent from the references get fresh symbols from a local
+// overlay, allocated only when the first novel vector appears; the
+// overlay starts past the frozen range so its symbols can never
+// collide with a reference symbol. Symbol identity — not value — is
+// all the edit distance reads, so the result is exactly what a joint
+// fresh interner would produce.
+func (rs *RefSet) wordOf(f fingerprint.F) []int {
+	out := make([]int, len(f))
+	var overlay map[features.Vector]int
+	next := len(rs.symbols)
+	for i, v := range f {
+		if s, ok := rs.symbols[v]; ok {
+			out[i] = s
+			continue
+		}
+		if s, ok := overlay[v]; ok {
+			out[i] = s
+			continue
+		}
+		if overlay == nil {
+			overlay = make(map[features.Vector]int, 8)
+		}
+		overlay[v] = next
+		out[i] = next
+		next++
+	}
+	return out
 }
 
 func min3(a, b, c int) int {

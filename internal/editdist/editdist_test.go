@@ -150,6 +150,63 @@ func TestFingerprintDistance(t *testing.T) {
 	}
 }
 
+func mkF(n, seed int) fingerprint.F {
+	var f fingerprint.F
+	for i := 0; i < n; i++ {
+		var v features.Vector
+		v[features.FeatSize] = float64((i*13 + seed) % 11 * 60)
+		v[features.FeatSrcPortClass] = float64((i + seed) % 3)
+		f = append(f, v)
+	}
+	return f
+}
+
+func TestRefSetMatchesFingerprintDistance(t *testing.T) {
+	refs := []fingerprint.F{mkF(40, 5), mkF(35, 9), mkF(40, 2), mkF(12, 7), mkF(28, 3)}
+	rs := NewRefSet(refs)
+	if rs.Len() != len(refs) {
+		t.Fatalf("Len = %d, want %d", rs.Len(), len(refs))
+	}
+	for _, cand := range []fingerprint.F{mkF(40, 1), mkF(33, 5), mkF(1, 0), nil, refs[2]} {
+		var want float64
+		for _, ref := range refs {
+			want += FingerprintDistance(cand, ref)
+		}
+		got, n := rs.DistanceSum(cand)
+		if n != len(refs) {
+			t.Errorf("DistanceSum n = %d, want %d", n, len(refs))
+		}
+		if got != want {
+			t.Errorf("DistanceSum = %v, want %v (per-call FingerprintDistance sum)", got, want)
+		}
+	}
+}
+
+func TestRefSetEmpty(t *testing.T) {
+	rs := NewRefSet(nil)
+	sum, n := rs.DistanceSum(mkF(10, 1))
+	if sum != 0 || n != 0 {
+		t.Errorf("empty RefSet: sum=%v n=%d, want 0, 0", sum, n)
+	}
+}
+
+func TestRefSetConcurrent(t *testing.T) {
+	rs := NewRefSet([]fingerprint.F{mkF(40, 5), mkF(35, 9)})
+	want, _ := rs.DistanceSum(mkF(40, 1))
+	done := make(chan float64, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			sum, _ := rs.DistanceSum(mkF(40, 1))
+			done <- sum
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != want {
+			t.Errorf("concurrent DistanceSum = %v, want %v", got, want)
+		}
+	}
+}
+
 func benchWord(n int, seed int) []int {
 	out := make([]int, n)
 	for i := range out {
@@ -189,5 +246,38 @@ func BenchmarkFingerprintDistance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = FingerprintDistance(x, y)
+	}
+}
+
+// The before/after pair for the per-call re-interning fix: one
+// discrimination step scores a candidate against a type's 5 reference
+// fingerprints.
+
+// BenchmarkDiscriminatePerCallInterner is the old hot path: a fresh
+// Interner per (candidate, reference) pair re-hashes all references on
+// every call.
+func BenchmarkDiscriminatePerCallInterner(b *testing.B) {
+	refs := []fingerprint.F{mkF(40, 5), mkF(35, 9), mkF(40, 2), mkF(12, 7), mkF(28, 3)}
+	cand := mkF(40, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, ref := range refs {
+			sum += FingerprintDistance(cand, ref)
+		}
+		_ = sum
+	}
+}
+
+// BenchmarkDiscriminateRefSet is the fixed hot path: references
+// interned once at build time, the candidate once per call.
+func BenchmarkDiscriminateRefSet(b *testing.B) {
+	rs := NewRefSet([]fingerprint.F{mkF(40, 5), mkF(35, 9), mkF(40, 2), mkF(12, 7), mkF(28, 3)})
+	cand := mkF(40, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = rs.DistanceSum(cand)
 	}
 }

@@ -7,6 +7,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -218,22 +219,9 @@ func newStat(samples []time.Duration) Stat {
 	}
 	return Stat{
 		Mean:   time.Duration(mean),
-		StdDev: time.Duration(sqrtF(sd)),
+		StdDev: time.Duration(math.Sqrt(sd)),
 		N:      len(samples),
 	}
-}
-
-func sqrtF(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	// Newton iteration; avoids importing math for one call site and is
-	// exact enough for reporting.
-	z := x
-	for i := 0; i < 40; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
 }
 
 // MeasureTiming reproduces Table IV against a trained identifier: it

@@ -3,7 +3,6 @@ package eval
 import (
 	"math/rand"
 	"testing"
-	"time"
 
 	"iotsentinel/internal/core"
 	"iotsentinel/internal/devices"
@@ -170,35 +169,6 @@ func TestMeasureExtraction(t *testing.T) {
 	}, 50)
 	if stat.N != 50 || stat.Mean < 0 {
 		t.Errorf("stat = %+v", stat)
-	}
-}
-
-func TestNewStat(t *testing.T) {
-	s := newStat([]time.Duration{10, 20, 30})
-	if s.Mean != 20 {
-		t.Errorf("Mean = %v, want 20", s.Mean)
-	}
-	if s.StdDev != 10 {
-		t.Errorf("StdDev = %v, want 10", s.StdDev)
-	}
-	zero := newStat(nil)
-	if zero.N != 0 || zero.Mean != 0 {
-		t.Errorf("empty stat = %+v", zero)
-	}
-	one := newStat([]time.Duration{42})
-	if one.Mean != 42 || one.StdDev != 0 {
-		t.Errorf("single-sample stat = %+v", one)
-	}
-}
-
-func TestSqrtF(t *testing.T) {
-	tests := []struct{ give, want float64 }{
-		{0, 0}, {-1, 0}, {4, 2}, {144, 12}, {2, 1.4142135623730951},
-	}
-	for _, tt := range tests {
-		if got := sqrtF(tt.give); got < tt.want-1e-9 || got > tt.want+1e-9 {
-			t.Errorf("sqrtF(%v) = %v, want %v", tt.give, got, tt.want)
-		}
 	}
 }
 

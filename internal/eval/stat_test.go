@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewStat(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []time.Duration
+		want    Stat
+	}{
+		{
+			name:    "empty",
+			samples: nil,
+			want:    Stat{},
+		},
+		{
+			name:    "single-sample",
+			samples: []time.Duration{42 * time.Millisecond},
+			// n=1: the mean is the sample and the sample standard
+			// deviation is undefined, reported as 0.
+			want: Stat{Mean: 42 * time.Millisecond, StdDev: 0, N: 1},
+		},
+		{
+			name:    "known-variance",
+			samples: []time.Duration{1 * time.Second, 3 * time.Second},
+			// mean 2s; sample variance ((1-2)² + (3-2)²)/(2-1) = 2 s²,
+			// so σ = √2 s = 1414213562ns (truncated).
+			want: Stat{Mean: 2 * time.Second, StdDev: 1414213562 * time.Nanosecond, N: 2},
+		},
+		{
+			name:    "known-variance-exact",
+			samples: []time.Duration{10, 20, 30},
+			// variance ((10-20)² + 0 + (30-20)²)/2 = 100, σ = 10ns.
+			want: Stat{Mean: 20, StdDev: 10, N: 3},
+		},
+		{
+			name: "zero-variance",
+			samples: []time.Duration{
+				5 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond,
+			},
+			want: Stat{Mean: 5 * time.Millisecond, StdDev: 0, N: 3},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := newStat(tt.samples)
+			if got != tt.want {
+				t.Errorf("newStat(%v) = %+v, want %+v", tt.samples, got, tt.want)
+			}
+		})
+	}
+}

@@ -84,38 +84,25 @@ func dedupeConsecutive(vs []features.Vector) F {
 // fprimeOf concatenates the first n globally unique vectors of f into a
 // flat feature slice of length n*features.Count, zero padding the tail.
 // It returns the padded slice and the number of unique vectors used.
+// Uniqueness is tracked in a hash set: features.Vector is a comparable
+// array whose map-key equality matches Vector.Equal (features are
+// finite, so the float == / map-key divergence on NaN cannot occur).
 func fprimeOf(f F, n int) ([]float64, int) {
 	out := make([]float64, n*features.Count)
+	seen := make(map[features.Vector]struct{}, n)
 	used := 0
 	for _, v := range f {
 		if used == n {
 			break
 		}
-		if containsVector(f, v, used, out) {
+		if _, dup := seen[v]; dup {
 			continue
 		}
+		seen[v] = struct{}{}
 		copy(out[used*features.Count:], v[:])
 		used++
 	}
 	return out, used
-}
-
-// containsVector reports whether v already occupies one of the first
-// `used` slots of the flat output.
-func containsVector(_ F, v features.Vector, used int, out []float64) bool {
-	for i := 0; i < used; i++ {
-		match := true
-		for j := 0; j < features.Count; j++ {
-			if out[i*features.Count+j] != v[j] {
-				match = false
-				break
-			}
-		}
-		if match {
-			return true
-		}
-	}
-	return false
 }
 
 // SetupCapture accumulates timestamped packets for one device and

@@ -102,6 +102,9 @@ type Config struct {
 	// sight (Sect. III-A), and legacy migration re-keys WPS-capable
 	// devices (Sect. VIII-A).
 	Keystore *wps.Keystore
+	// Metrics, if set, receives device-state, quarantine and
+	// setup-capture instrumentation (see NewMetrics).
+	Metrics *Metrics
 }
 
 // quarantined is one parked fingerprint awaiting a retry.
@@ -160,6 +163,8 @@ func (g *Gateway) HandlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, err
 		info = &DeviceInfo{MAC: pk.SrcMAC, State: StateMonitoring, FirstSeen: ts}
 		g.devices[pk.SrcMAC] = info
 		g.captures[pk.SrcMAC] = fingerprint.NewSetupCapture(g.cfg.IdleGap, g.cfg.MaxSetupPackets)
+		g.cfg.Metrics.stateChange(0, StateMonitoring)
+		g.cfg.Metrics.captureOpened()
 		if g.cfg.Keystore != nil {
 			// The device joined via WPS: issue its device-specific
 			// WPA2 PSK (Sect. III-A).
@@ -179,6 +184,7 @@ func (g *Gateway) HandlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, err
 			if done := cap.Observe(ts, pk); done {
 				finished = cap
 				delete(g.captures, pk.SrcMAC)
+				g.cfg.Metrics.captureCompleted(triggerPacket)
 			}
 			info.SetupPackets = cap.Len()
 		}
@@ -218,6 +224,7 @@ func (g *Gateway) FinishSetup(mac packet.MAC, now time.Time) error {
 	if !ok {
 		return fmt.Errorf("gateway: device %v is not being monitored", mac)
 	}
+	g.cfg.Metrics.captureCompleted(triggerForced)
 	g.assess(mac, cap.Fingerprint(), now)
 	return nil
 }
@@ -243,6 +250,7 @@ func (g *Gateway) FinishAllSetups(now time.Time) (int, error) {
 	for i, mac := range macs {
 		fps[i] = g.captures[mac].Fingerprint()
 		delete(g.captures, mac)
+		g.cfg.Metrics.captureCompleted(triggerForced)
 	}
 	g.mu.Unlock()
 	if len(macs) == 0 {
@@ -313,6 +321,7 @@ func (g *Gateway) quarantineDevice(mac packet.MAC, fp fingerprint.Fingerprint, n
 		info = &DeviceInfo{MAC: mac, FirstSeen: now}
 		g.devices[mac] = info
 	}
+	g.cfg.Metrics.stateChange(info.State, StateQuarantined)
 	info.State = StateQuarantined
 	info.Level = sdn.Strict
 	if info.QuarantinedAt.IsZero() {
@@ -324,6 +333,8 @@ func (g *Gateway) quarantineDevice(mac packet.MAC, fp fingerprint.Fingerprint, n
 	} else if len(g.quarantine) < g.maxQuarantined() {
 		g.quarantine[mac] = &quarantined{fp: fp, since: now}
 	}
+	g.cfg.Metrics.incAssess(false)
+	g.cfg.Metrics.setQuarantineDepth(len(g.quarantine))
 	snapshot := *info
 	g.mu.Unlock()
 
@@ -371,6 +382,7 @@ func (g *Gateway) RetryQuarantined(now time.Time) (int, error) {
 	for i, mac := range macs {
 		a, err := g.assessor.Assess(fps[i])
 		if err != nil {
+			g.cfg.Metrics.incRetry(false)
 			g.mu.Lock()
 			if info := g.devices[mac]; info != nil && info.State == StateQuarantined {
 				info.AssessAttempts++
@@ -386,6 +398,7 @@ func (g *Gateway) RetryQuarantined(now time.Time) (int, error) {
 			continue
 		}
 		g.apply(mac, a, now)
+		g.cfg.Metrics.incRetry(true)
 		promoted++
 	}
 	return promoted, nil
@@ -412,6 +425,7 @@ func (g *Gateway) FinalizeIdleCaptures(now time.Time) int {
 	for i, mac := range macs {
 		fps[i] = g.captures[mac].Fingerprint()
 		delete(g.captures, mac)
+		g.cfg.Metrics.captureCompleted(triggerIdle)
 	}
 	g.mu.Unlock()
 
@@ -439,6 +453,7 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 		info = &DeviceInfo{MAC: mac, FirstSeen: now}
 		g.devices[mac] = info
 	}
+	g.cfg.Metrics.stateChange(info.State, StateAssessed)
 	info.State = StateAssessed
 	info.Type = a.Type
 	info.Level = a.Level
@@ -447,6 +462,8 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 	info.QuarantinedAt = time.Time{}
 	info.AssessAttempts = 0
 	delete(g.quarantine, mac)
+	g.cfg.Metrics.incAssess(true)
+	g.cfg.Metrics.setQuarantineDepth(len(g.quarantine))
 	snapshot := *info
 	g.mu.Unlock()
 
@@ -473,9 +490,13 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 // paper describes for departed devices).
 func (g *Gateway) RemoveDevice(mac packet.MAC) {
 	g.mu.Lock()
+	if info := g.devices[mac]; info != nil {
+		g.cfg.Metrics.stateChange(info.State, 0)
+	}
 	delete(g.devices, mac)
 	delete(g.captures, mac)
 	delete(g.quarantine, mac)
+	g.cfg.Metrics.setQuarantineDepth(len(g.quarantine))
 	g.mu.Unlock()
 	g.sw.Controller().Rules().Remove(mac)
 	g.sw.InvalidateDevice(mac)

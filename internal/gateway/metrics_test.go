@@ -1,0 +1,175 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/obs"
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+// TestMetricsQuarantineRoundTrip drives the acceptance scenario of the
+// observability layer: one registry wired across the gateway, the HTTP
+// client's breaker and the switch, against an IoTSSP that is down and
+// then recovers. Every lifecycle transition must be visible in the
+// exported series — the per-state device gauges move with quarantine
+// and promotion, and the breaker transition counters record
+// open → half-open → closed.
+func TestMetricsQuarantineRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	gm := NewMetrics(reg)
+	cm := iotssp.NewClientMetrics(reg)
+
+	svc := trainService(t)
+	real := iotssp.Handler(svc)
+	var failing atomic.Bool
+	failing.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "service down", http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	fc := &fakeClock{now: time.Unix(5000, 0)}
+	breaker := iotssp.NewCircuitBreaker(2, 30*time.Second, fc)
+	cm.ObserveBreaker(breaker)
+	client := &iotssp.Client{
+		BaseURL: srv.URL,
+		Timeout: 5 * time.Second,
+		Retry:   iotssp.RetryPolicy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, Seed: 9},
+		Breaker: breaker,
+		Clock:   fc,
+		Metrics: cm,
+	}
+	g := newGatewayWithAssessor(client, Config{IdleGap: 5 * time.Second, Metrics: gm})
+	g.Switch().SetMetrics(sdn.NewSwitchMetrics(reg))
+
+	p, err := devices.ProfileByID("EdnetCam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := devices.GenerateCaptures(p, 1, 64)[0]
+	playCapture(t, g, cap)
+
+	// Setup capture open, device monitoring.
+	s := reg.Snapshot()
+	if got := s.Value("gateway_devices", "state", "monitoring"); got != 1 {
+		t.Fatalf("monitoring gauge = %v, want 1", got)
+	}
+	if got := s.Value("gateway_setup_captures_total", "event", "opened"); got != 1 {
+		t.Errorf("captures opened = %v, want 1", got)
+	}
+
+	end := cap.Times[len(cap.Times)-1]
+	if err := g.FinishSetup(cap.MAC, end); err != nil {
+		t.Fatalf("FinishSetup: %v", err)
+	}
+
+	// Down service: the device moved monitoring → quarantined, the two
+	// failed attempts tripped the breaker, and the retry backoff slept
+	// once.
+	s = reg.Snapshot()
+	if got := s.Value("gateway_devices", "state", "monitoring"); got != 0 {
+		t.Errorf("monitoring gauge = %v, want 0", got)
+	}
+	if got := s.Value("gateway_devices", "state", "quarantined"); got != 1 {
+		t.Errorf("quarantined gauge = %v, want 1", got)
+	}
+	if got := s.Value("gateway_quarantine_depth"); got != 1 {
+		t.Errorf("quarantine depth = %v, want 1", got)
+	}
+	if got := s.Value("gateway_assessments_total", "outcome", "failure"); got != 1 {
+		t.Errorf("failed assessments = %v, want 1", got)
+	}
+	if got := s.Value("gateway_setup_captures_total", "event", "completed_forced"); got != 1 {
+		t.Errorf("forced completions = %v, want 1", got)
+	}
+	if got := s.Value("iotssp_client_attempts_total", "result", "error"); got != 2 {
+		t.Errorf("error attempts = %v, want 2", got)
+	}
+	if got := s.Value("iotssp_client_backoff_seconds_count"); got != 1 {
+		t.Errorf("backoff sleeps = %v, want 1", got)
+	}
+	if got := s.Value("iotssp_breaker_transitions_total", "to", "open"); got != 1 {
+		t.Errorf("transitions to open = %v, want 1", got)
+	}
+
+	// The quarantined device's traffic is dropped by an instrumented
+	// switch.
+	blocked := packet.NewTCPSyn(cap.MAC, packet.MAC{2, 2, 2, 2, 2, 2},
+		netip.MustParseAddr("192.168.1.40"), netip.MustParseAddr("93.184.216.34"), 40000, 443)
+	if act, err := g.HandlePacket(end.Add(time.Second), blocked); err != nil || act != sdn.ActionDrop {
+		t.Fatalf("quarantined device: act=%v err=%v, want drop/nil", act, err)
+	}
+	s = reg.Snapshot()
+	if got := s.Value("sdn_switch_packets_total", "action", "drop"); got < 1 {
+		t.Errorf("dropped packets = %v, want >= 1", got)
+	}
+
+	// Open breaker: the drain fails fast, counted as a rejection and a
+	// failed retry, without touching the wire.
+	if _, err := g.RetryQuarantined(end.Add(2 * time.Second)); err == nil {
+		t.Fatal("retry with open breaker must fail")
+	}
+	s = reg.Snapshot()
+	if got := s.Value("iotssp_client_breaker_rejections_total"); got != 1 {
+		t.Errorf("breaker rejections = %v, want 1", got)
+	}
+	if got := s.Value("gateway_quarantine_retries_total", "outcome", "failed"); got != 1 {
+		t.Errorf("failed retries = %v, want 1", got)
+	}
+
+	// Recovery: cooldown elapses, the half-open probe succeeds, the
+	// breaker closes and the device is promoted — all gauges return to
+	// the assessed steady state.
+	failing.Store(false)
+	fc.Advance(31 * time.Second)
+	if n, err := g.RetryQuarantined(end.Add(40 * time.Second)); n != 1 || err != nil {
+		t.Fatalf("RetryQuarantined = (%d, %v), want (1, nil)", n, err)
+	}
+	s = reg.Snapshot()
+	if got := s.Value("iotssp_breaker_transitions_total", "to", "half-open"); got != 1 {
+		t.Errorf("transitions to half-open = %v, want 1", got)
+	}
+	if got := s.Value("iotssp_breaker_transitions_total", "to", "closed"); got != 1 {
+		t.Errorf("transitions to closed = %v, want 1", got)
+	}
+	if got := s.Value("gateway_devices", "state", "quarantined"); got != 0 {
+		t.Errorf("quarantined gauge = %v, want 0", got)
+	}
+	if got := s.Value("gateway_devices", "state", "assessed"); got != 1 {
+		t.Errorf("assessed gauge = %v, want 1", got)
+	}
+	if got := s.Value("gateway_quarantine_depth"); got != 0 {
+		t.Errorf("quarantine depth = %v, want 0", got)
+	}
+	if got := s.Value("gateway_quarantine_retries_total", "outcome", "promoted"); got != 1 {
+		t.Errorf("promoted retries = %v, want 1", got)
+	}
+	if got := s.Value("gateway_assessments_total", "outcome", "success"); got != 1 {
+		t.Errorf("successful assessments = %v, want 1", got)
+	}
+	if got := s.Value("iotssp_client_attempts_total", "result", "success"); got != 1 {
+		t.Errorf("success attempts = %v, want 1", got)
+	}
+
+	// RemoveDevice clears the last gauge: the registry returns to zero
+	// devices, proving the state accounting can never drift negative.
+	g.RemoveDevice(cap.MAC)
+	s = reg.Snapshot()
+	for _, state := range []string{"monitoring", "assessed", "quarantined"} {
+		if got := s.Value("gateway_devices", "state", state); got != 0 {
+			t.Errorf("%s gauge = %v after RemoveDevice, want 0", state, got)
+		}
+	}
+}

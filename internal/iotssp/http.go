@@ -144,6 +144,10 @@ type Client struct {
 	Breaker *CircuitBreaker
 	// Clock injects time for backoff sleeps (default SystemClock).
 	Clock Clock
+	// Metrics, if set, counts attempts, backoff sleeps and breaker
+	// rejections (see NewClientMetrics; pair with ObserveBreaker for
+	// the transition counters).
+	Metrics *ClientMetrics
 }
 
 var _ Assessor = (*Client)(nil)
@@ -202,12 +206,14 @@ func (c *Client) AssessContext(ctx context.Context, fp fingerprint.Fingerprint) 
 	var lastErr error
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		if c.Breaker != nil && !c.Breaker.Allow() {
+			c.Metrics.incRejection()
 			if lastErr != nil {
 				return Assessment{}, fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, lastErr)
 			}
 			return Assessment{}, ErrCircuitOpen
 		}
 		a, err := c.post(ctx, payload)
+		c.Metrics.incAttempt(err == nil)
 		if c.Breaker != nil {
 			// 4xx and decode failures mean the service answered: they
 			// count as service-alive for breaker purposes.
@@ -225,7 +231,9 @@ func (c *Client) AssessContext(ctx context.Context, fp fingerprint.Fingerprint) 
 		}
 		lastErr = err
 		if attempt < policy.MaxAttempts {
-			if serr := clock.Sleep(ctx, policy.Backoff(attempt)); serr != nil {
+			d := policy.Backoff(attempt)
+			c.Metrics.observeBackoff(d.Seconds())
+			if serr := clock.Sleep(ctx, d); serr != nil {
 				return Assessment{}, fmt.Errorf("iotssp client: %w (last error: %v)", serr, lastErr)
 			}
 		}

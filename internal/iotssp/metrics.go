@@ -1,0 +1,79 @@
+package iotssp
+
+import (
+	"iotsentinel/internal/obs"
+)
+
+// ClientMetrics instruments the gateway↔service path: HTTP attempt
+// outcomes, backoff sleeps, fast-fails while the breaker is open, and
+// every breaker state transition. Attach via Client.Metrics and
+// ClientMetrics.ObserveBreaker; a nil bundle disables instrumentation.
+//
+// Exported series:
+//
+//	iotssp_client_attempts_total{result="success|error"}          counter
+//	iotssp_client_backoff_seconds                                  histogram
+//	iotssp_client_breaker_rejections_total                         counter
+//	iotssp_breaker_transitions_total{to="closed|open|half-open"}   counter
+type ClientMetrics struct {
+	attemptOK  *obs.Counter
+	attemptErr *obs.Counter
+	backoff    *obs.Histogram
+	rejections *obs.Counter
+	transition map[BreakerState]*obs.Counter
+}
+
+// NewClientMetrics registers the client metric family on reg.
+func NewClientMetrics(reg *obs.Registry) *ClientMetrics {
+	attempts := reg.CounterVec("iotssp_client_attempts_total",
+		"HTTP assessment attempts, by result.", "result")
+	transitions := reg.CounterVec("iotssp_breaker_transitions_total",
+		"Circuit-breaker state transitions, by destination state.", "to")
+	return &ClientMetrics{
+		attemptOK:  attempts.With("success"),
+		attemptErr: attempts.With("error"),
+		backoff: reg.Histogram("iotssp_client_backoff_seconds",
+			"Backoff sleeps between retry attempts.", nil),
+		rejections: reg.Counter("iotssp_client_breaker_rejections_total",
+			"Calls failed fast because the circuit breaker was open."),
+		transition: map[BreakerState]*obs.Counter{
+			BreakerClosed:   transitions.With(BreakerClosed.String()),
+			BreakerOpen:     transitions.With(BreakerOpen.String()),
+			BreakerHalfOpen: transitions.With(BreakerHalfOpen.String()),
+		},
+	}
+}
+
+// ObserveBreaker subscribes the bundle to b's state transitions. Safe
+// on a nil receiver (no-op).
+func (m *ClientMetrics) ObserveBreaker(b *CircuitBreaker) {
+	if m == nil || b == nil {
+		return
+	}
+	b.SetTransitionObserver(func(_, to BreakerState) {
+		m.transition[to].Inc()
+	})
+}
+
+func (m *ClientMetrics) incAttempt(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.attemptOK.Inc()
+	} else {
+		m.attemptErr.Inc()
+	}
+}
+
+func (m *ClientMetrics) incRejection() {
+	if m != nil {
+		m.rejections.Inc()
+	}
+}
+
+func (m *ClientMetrics) observeBackoff(seconds float64) {
+	if m != nil {
+		m.backoff.Observe(seconds)
+	}
+}

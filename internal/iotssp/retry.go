@@ -164,6 +164,10 @@ type CircuitBreaker struct {
 	failures int
 	openedAt time.Time
 	probing  bool
+	// onTransition, if set, is called on every state change while the
+	// breaker lock is held: observers must be fast, must not block and
+	// must not call back into the breaker.
+	onTransition func(from, to BreakerState)
 }
 
 // NewCircuitBreaker returns a closed breaker that opens after threshold
@@ -183,6 +187,30 @@ func NewCircuitBreaker(threshold int, cooldown time.Duration, clock Clock) *Circ
 	return &CircuitBreaker{clock: clock, threshold: threshold, cooldown: cooldown}
 }
 
+// SetTransitionObserver registers fn to be called on every breaker
+// state change (metrics, logging). fn runs with the breaker lock held:
+// it must be fast and must not call back into the breaker. A nil fn
+// removes the observer.
+func (b *CircuitBreaker) SetTransitionObserver(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onTransition = fn
+}
+
+// setState transitions the breaker and notifies the observer; the
+// caller holds b.mu. No-op (and no notification) when the state does
+// not actually change.
+func (b *CircuitBreaker) setState(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
 // Allow reports whether a call may proceed, transitioning open →
 // half-open once the cooldown has elapsed. In half-open only one probe
 // is admitted at a time.
@@ -196,7 +224,7 @@ func (b *CircuitBreaker) Allow() bool {
 		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		return true
 	default: // half-open
@@ -215,20 +243,20 @@ func (b *CircuitBreaker) Record(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err == nil {
-		b.state = BreakerClosed
+		b.setState(BreakerClosed)
 		b.failures = 0
 		b.probing = false
 		return
 	}
 	b.probing = false
 	if b.state == BreakerHalfOpen {
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.openedAt = b.clock.Now()
 		return
 	}
 	b.failures++
 	if b.failures >= b.threshold {
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.openedAt = b.clock.Now()
 	}
 }

@@ -1,0 +1,52 @@
+package sdn
+
+import (
+	"iotsentinel/internal/obs"
+)
+
+// SwitchMetrics instruments the data plane: per-action packet counters
+// plus the fast-path/slow-path split. Attach via Switch.SetMetrics; a
+// nil bundle disables instrumentation.
+//
+// Exported series:
+//
+//	sdn_switch_packets_total{action="forward|drop"}  counter
+//	sdn_switch_packet_ins_total                      counter
+//	sdn_switch_table_hits_total                      counter
+type SwitchMetrics struct {
+	forwarded *obs.Counter
+	dropped   *obs.Counter
+	packetIns *obs.Counter
+	tableHits *obs.Counter
+}
+
+// NewSwitchMetrics registers the switch metric family on reg.
+func NewSwitchMetrics(reg *obs.Registry) *SwitchMetrics {
+	packets := reg.CounterVec("sdn_switch_packets_total",
+		"Packets processed by the switch, by enforcement action.", "action")
+	return &SwitchMetrics{
+		forwarded: packets.With("forward"),
+		dropped:   packets.With("drop"),
+		packetIns: reg.Counter("sdn_switch_packet_ins_total",
+			"Flow-table misses escalated to the controller."),
+		tableHits: reg.Counter("sdn_switch_table_hits_total",
+			"Packets switched in the fast path."),
+	}
+}
+
+// observe records one processed packet. Safe on nil.
+func (m *SwitchMetrics) observe(act Action, hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.tableHits.Inc()
+	} else {
+		m.packetIns.Inc()
+	}
+	if act == ActionForward {
+		m.forwarded.Inc()
+	} else {
+		m.dropped.Inc()
+	}
+}

@@ -234,6 +234,7 @@ type Switch struct {
 	ctrl    *Controller
 	stats   SwitchStats
 	monitor *TrafficMonitor
+	metrics *SwitchMetrics
 }
 
 // NewSwitch wires a switch to its controller.
@@ -263,8 +264,9 @@ func (s *Switch) Process(pk *packet.Packet, now time.Time) Action {
 		s.stats.PacketIns++
 	}
 	s.count(act)
-	monitor := s.monitor
+	monitor, metrics := s.monitor, s.metrics
 	s.mu.Unlock()
+	metrics.observe(act, hit)
 	if monitor != nil {
 		monitor.Observe(pk, act, now)
 	}
@@ -277,6 +279,13 @@ func (s *Switch) count(a Action) {
 	} else {
 		s.stats.Dropped++
 	}
+}
+
+// SetMetrics attaches an instrumentation bundle (nil detaches it).
+func (s *Switch) SetMetrics(m *SwitchMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
 }
 
 // Stats returns a snapshot of switch counters.
