@@ -1,15 +1,18 @@
 # IoT Sentinel build/test entry points. `make verify` is the tier-1
-# gate (vet + gofmt check + build + full test suite + a short -race
-# pass over the gateway and the metrics registry); `make test-race`
-# covers the concurrent classifier bank, gateway and enforcement plane
-# in full; `make bench` runs every paper-table benchmark plus the
-# parallel train/identify sweeps; `make bench-json` archives the
-# hot-path benchmarks as BENCH_<date>.json for cross-commit diffing.
+# gate (vet + gofmt check + build + shuffled full test suite + a short
+# -race pass over the gateway and the metrics registry + a short fuzz
+# pass over the capture readers); `make test-race` covers the
+# concurrent classifier bank, gateway and enforcement plane in full;
+# `make fuzz` runs each pcap fuzz target for FUZZTIME; `make bench`
+# runs every paper-table benchmark plus the parallel train/identify
+# sweeps; `make bench-json` archives the hot-path benchmarks as
+# BENCH_<date>.json for cross-commit diffing.
 
 GO ?= go
 BENCH_PKGS ?= ./internal/...
+FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check verify test test-race bench bench-parallel bench-json clean
+.PHONY: all build vet fmt-check verify test test-race fuzz bench bench-parallel bench-json clean
 
 all: verify
 
@@ -18,8 +21,9 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 verify: vet fmt-check build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 	$(GO) test -race -count=1 ./internal/gateway/... ./internal/obs/...
+	$(MAKE) fuzz
 
 build:
 	$(GO) build ./...
@@ -28,10 +32,14 @@ vet:
 	$(GO) vet ./...
 
 test: vet build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 test-race:
 	$(GO) test -race ./internal/core/... ./internal/gateway/... ./internal/sdn/... ./internal/iotssp/...
+
+fuzz:
+	$(GO) test -fuzz='^FuzzReadPcap$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
+	$(GO) test -fuzz='^FuzzReadPcapNG$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -61,6 +61,8 @@ func run(args []string, out io.Writer) error {
 		assessRetries = fs.Int("assess-retries", 3, "additional attempts after a failed remote IoTSSP call")
 		retryPeriod   = fs.Duration("retry-period", 5*time.Second, "how often quarantined devices are re-assessed")
 		metricsAddr   = fs.String("metrics-addr", "", "listen address for /metrics and /debug/pprof (default: disabled)")
+		shards        = fs.Int("shards", gateway.DefaultShards, "device-state shards (rounded up to a power of two)")
+		cacheSize     = fs.Int("cache-size", core.DefaultCacheSize, "identification-cache entries for the in-process service (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +75,7 @@ func run(args []string, out io.Writer) error {
 		gwMetrics = gateway.NewMetrics(reg)
 	}
 
-	assessor, err := buildAssessor(out, reg, *sspURL, *captures, *seed, *workers, *assessTimeout, *assessRetries)
+	assessor, err := buildAssessor(out, reg, *sspURL, *captures, *seed, *workers, *cacheSize, *assessTimeout, *assessRetries)
 	if err != nil {
 		return err
 	}
@@ -84,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		sw.SetMetrics(sdn.NewSwitchMetrics(reg))
 	}
 	gw := gateway.New(assessor, sw, gateway.Config{
+		Shards:  *shards,
 		Metrics: gwMetrics,
 		OnAssessed: func(d gateway.DeviceInfo) {
 			fmt.Fprintf(out, "assessed %v as %q -> %s\n", d.MAC, orUnknown(string(d.Type)), d.Level)
@@ -153,7 +156,7 @@ func run(args []string, out io.Writer) error {
 // client gets the full fault-tolerance stack: per-attempt timeout,
 // bounded retries with backoff, and a circuit breaker so a down service
 // fails fast instead of stalling the data path.
-func buildAssessor(out io.Writer, reg *obs.Registry, sspURL string, captures int, seed int64, workers int,
+func buildAssessor(out io.Writer, reg *obs.Registry, sspURL string, captures int, seed int64, workers, cacheSize int,
 	assessTimeout time.Duration, assessRetries int) (iotssp.Assessor, error) {
 	if sspURL != "" {
 		fmt.Fprintf(out, "using remote IoT Security Service at %s\n", sspURL)
@@ -179,7 +182,7 @@ func buildAssessor(out io.Writer, reg *obs.Registry, sspURL string, captures int
 	for k, v := range raw {
 		ds[core.TypeID(k)] = v
 	}
-	id, err := core.Train(ds, core.Config{Seed: seed, Workers: workers})
+	id, err := core.Train(ds, core.Config{Seed: seed, Workers: workers, CacheSize: cacheSize})
 	if err != nil {
 		return nil, err
 	}

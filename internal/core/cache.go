@@ -1,0 +1,150 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"iotsentinel/internal/fingerprint"
+)
+
+// IdentifyCache is a bounded LRU of identification results keyed by the
+// canonical fingerprint hash. IoT devices replay near-identical setup
+// sequences — the same firmware walks the same DHCP/DNS/NTP/cloud
+// choreography on every power cycle — so a gateway that has already
+// identified one probe can answer the replay without touching the
+// classifier bank at all.
+//
+// Cached answers are bit-identical to uncached ones in every semantic
+// field (Type, Matches, Scores, Discriminated, EditDistances): the key
+// covers the full fingerprint (see fingerprint.CanonicalKey), entries
+// are deep-copied in and out so callers can never mutate a shared
+// Result, and the identifier purges the cache whenever the bank changes
+// (AddType). Only the stage timings differ — a hit reports zero
+// ClassifyTime/DiscriminateTime, which is also the honest measurement.
+//
+// The cache is safe for concurrent use. Lookups and inserts take one
+// short mutex hold; the heavy work (hashing the probe) happens outside
+// the lock.
+type IdentifyCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[fingerprint.Key]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key fingerprint.Key
+	res Result
+}
+
+// DefaultCacheSize is the entry bound selected by NewIdentifyCache when
+// given a non-positive capacity.
+const DefaultCacheSize = 4096
+
+// NewIdentifyCache returns an empty cache bounded to capacity entries
+// (non-positive selects DefaultCacheSize).
+func NewIdentifyCache(capacity int) *IdentifyCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &IdentifyCache{
+		cap:     capacity,
+		entries: make(map[fingerprint.Key]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns a deep copy of the cached result for key, if present.
+func (c *IdentifyCache) get(key fingerprint.Key) (Result, bool) {
+	if c == nil {
+		return Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return Result{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return copyResult(el.Value.(*cacheEntry).res), true
+}
+
+// put stores a deep copy of res under key, evicting the least recently
+// used entry when the cache is full.
+func (c *IdentifyCache) put(key fingerprint.Key, res Result) {
+	if c == nil {
+		return
+	}
+	stored := copyResult(res)
+	// Timings are run-dependent measurements, not part of the answer;
+	// zero them so a hit cannot masquerade as classifier work.
+	stored.ClassifyTime = 0
+	stored.DiscriminateTime = 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = stored
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: stored})
+}
+
+// Purge drops every entry; called when the classifier bank changes so a
+// stale answer can never outlive the model that produced it.
+func (c *IdentifyCache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[fingerprint.Key]*list.Element, c.cap)
+	c.order.Init()
+}
+
+// Len returns the current entry count.
+func (c *IdentifyCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *IdentifyCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// copyResult deep-copies the mutable fields of a Result so cached
+// values cannot alias caller-visible ones.
+func copyResult(res Result) Result {
+	out := res
+	if res.Matches != nil {
+		out.Matches = append([]TypeID(nil), res.Matches...)
+	}
+	if res.Scores != nil {
+		out.Scores = make(map[TypeID]float64, len(res.Scores))
+		for t, s := range res.Scores {
+			out.Scores[t] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/fingerprint"
+)
+
+func trainedPair(t *testing.T, cacheSize int) (cached, plain *Identifier, probes []fingerprint.Fingerprint) {
+	t.Helper()
+	raw := devices.GenerateDataset(6, 42)
+	ds := make(map[TypeID][]fingerprint.Fingerprint, len(raw))
+	for k, v := range raw {
+		ds[TypeID(k)] = v
+	}
+	cached, err := Train(ds, Config{Seed: 1, Workers: 1, CacheSize: cacheSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err = Train(ds, Config{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe with fresh captures (not the training set) plus exact
+	// replays of training fingerprints, the case the cache exists for.
+	probeRaw := devices.GenerateDataset(2, 777)
+	for _, fps := range probeRaw {
+		probes = append(probes, fps...)
+	}
+	for _, fps := range ds {
+		probes = append(probes, fps[0])
+	}
+	return cached, plain, probes
+}
+
+// semantic strips the run-dependent timing fields so results can be
+// compared for bit-identical answers.
+func semantic(r Result) Result {
+	r.ClassifyTime = 0
+	r.DiscriminateTime = 0
+	return r
+}
+
+// TestCacheDifferentialIdentical is the cache half of the ISSUE's
+// differential guarantee: identification with the cache enabled —
+// first pass (all misses) and second pass (all hits) — must be
+// bit-identical to an uncached identifier in every semantic field.
+func TestCacheDifferentialIdentical(t *testing.T) {
+	cached, plain, probes := trainedPair(t, 1024)
+	for i, fp := range probes {
+		want := semantic(plain.Identify(fp))
+		miss := semantic(cached.Identify(fp))
+		if !reflect.DeepEqual(want, miss) {
+			t.Fatalf("probe %d: cache-miss result differs:\n  cached: %+v\n  plain:  %+v", i, miss, want)
+		}
+		hit := semantic(cached.Identify(fp))
+		if !reflect.DeepEqual(want, hit) {
+			t.Fatalf("probe %d: cache-hit result differs:\n  cached: %+v\n  plain:  %+v", i, hit, want)
+		}
+	}
+	// Some device profiles replay bit-identical setup sequences across
+	// captures, so distinct probes can share a canonical key — count
+	// unique keys rather than probes.
+	unique := make(map[fingerprint.Key]struct{}, len(probes))
+	for _, fp := range probes {
+		unique[fp.CanonicalKey()] = struct{}{}
+	}
+	hits, misses := cached.Cache().Stats()
+	wantMisses := uint64(len(unique))
+	wantHits := uint64(2*len(probes)) - wantMisses
+	if misses != wantMisses || hits != wantHits {
+		t.Errorf("cache stats = %d hits / %d misses, want %d / %d",
+			hits, misses, wantHits, wantMisses)
+	}
+}
+
+// TestCacheBatchIdentical: IdentifyBatch must cache exactly like
+// repeated Identify calls.
+func TestCacheBatchIdentical(t *testing.T) {
+	cached, plain, probes := trainedPair(t, 1024)
+	wantAll := plain.IdentifyBatch(probes)
+	gotAll := cached.IdentifyBatch(probes) // mix of misses and replays
+	again := cached.IdentifyBatch(probes)  // all hits
+	for i := range probes {
+		if !reflect.DeepEqual(semantic(wantAll[i]), semantic(gotAll[i])) {
+			t.Fatalf("batch probe %d: first-pass result differs", i)
+		}
+		if !reflect.DeepEqual(semantic(wantAll[i]), semantic(again[i])) {
+			t.Fatalf("batch probe %d: hit-pass result differs", i)
+		}
+	}
+}
+
+func TestCacheHitReturnsIndependentCopies(t *testing.T) {
+	cached, _, probes := trainedPair(t, 1024)
+	var probe fingerprint.Fingerprint
+	found := false
+	for _, fp := range probes {
+		if r := cached.Identify(fp); len(r.Matches) > 0 {
+			probe, found = fp, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no probe produced matches")
+	}
+	a := cached.Identify(probe)
+	a.Matches[0] = "CORRUPTED"
+	for k := range a.Scores {
+		a.Scores[k] = -1
+	}
+	b := cached.Identify(probe)
+	if len(b.Matches) > 0 && b.Matches[0] == "CORRUPTED" {
+		t.Error("cache hit aliases a previously returned Matches slice")
+	}
+	for _, s := range b.Scores {
+		if s == -1 {
+			t.Error("cache hit aliases a previously returned Scores map")
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewIdentifyCache(2)
+	keyOf := func(i int) fingerprint.Key {
+		fp := fingerprint.Fingerprint{UniqueCount: i}
+		return fp.CanonicalKey()
+	}
+	c.put(keyOf(1), Result{Type: "a"})
+	c.put(keyOf(2), Result{Type: "b"})
+	if _, ok := c.get(keyOf(1)); !ok { // 1 becomes MRU
+		t.Fatal("entry 1 missing")
+	}
+	c.put(keyOf(3), Result{Type: "c"}) // evicts 2 (LRU)
+	if _, ok := c.get(keyOf(2)); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	if _, ok := c.get(keyOf(1)); !ok {
+		t.Error("MRU entry 1 evicted")
+	}
+	if _, ok := c.get(keyOf(3)); !ok {
+		t.Error("fresh entry 3 missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePurgedOnAddType(t *testing.T) {
+	cached, _, probes := trainedPair(t, 1024)
+	cached.Identify(probes[0])
+	if cached.Cache().Len() == 0 {
+		t.Fatal("cache empty after identification")
+	}
+	extra := devices.GenerateDataset(3, 9)
+	var fps []fingerprint.Fingerprint
+	for _, v := range extra {
+		fps = v
+		break
+	}
+	if err := cached.AddType("brand-new-type", fps); err != nil {
+		t.Fatal(err)
+	}
+	if n := cached.Cache().Len(); n != 0 {
+		t.Errorf("cache holds %d entries after AddType, want 0", n)
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *IdentifyCache
+	c.put(fingerprint.Key{}, Result{})
+	if _, ok := c.get(fingerprint.Key{}); ok {
+		t.Error("nil cache reported a hit")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Error("nil cache has nonzero length")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("nil cache has nonzero stats")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewIdentifyCache(64)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				fp := fingerprint.Fingerprint{UniqueCount: (w*31 + i) % 100}
+				key := fp.CanonicalKey()
+				c.put(key, Result{Type: TypeID(fmt.Sprintf("t%d", i%7))})
+				c.get(key)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if c.Len() > 64 {
+		t.Errorf("cache exceeded its bound: %d entries", c.Len())
+	}
+}

@@ -54,6 +54,13 @@ type Config struct {
 	// runtime concern, not model state, so it is excluded from
 	// serialization: models trained at any worker count are identical.
 	Workers int `json:"-"`
+	// CacheSize, when positive, attaches an identification cache of
+	// that many entries (see IdentifyCache): probes whose canonical
+	// fingerprint hash was already answered skip the classifier bank
+	// and return the stored result. 0 disables caching. Like Workers,
+	// the cache is a runtime concern with no effect on answers, so it
+	// is excluded from serialization.
+	CacheSize int `json:"-"`
 	// DisableDiscrimination skips the edit-distance tie-break and
 	// resolves multi-matches by taking the first accepted type in
 	// sorted order. It exists for the ablation study of the
@@ -112,6 +119,10 @@ type Identifier struct {
 	// metrics, when non-nil, receives one observation per
 	// identification (see SetMetrics); updates are atomic adds.
 	metrics *Metrics
+	// cache, when non-nil, short-circuits identifications whose
+	// canonical fingerprint hash was already answered. The cache is
+	// internally synchronized; mu only guards the pointer.
+	cache *IdentifyCache
 }
 
 // Train builds one classifier per device-type from labelled
@@ -138,6 +149,9 @@ func Train(samples map[TypeID][]fingerprint.Fingerprint, cfg Config) (*Identifie
 		id.pool[t] = append([]fingerprint.Fingerprint(nil), fps...)
 	}
 	id.types = sortedKeys(id.pool)
+	if cfg.CacheSize > 0 {
+		id.cache = NewIdentifyCache(cfg.CacheSize)
+	}
 	// Per-type training is independent (hash-derived seeds, read-only
 	// pool), so the bank trains concurrently; results merge into the
 	// model map in canonical order afterwards.
@@ -223,7 +237,27 @@ func (id *Identifier) AddType(t TypeID, fps []fingerprint.Fingerprint) error {
 	}
 	id.models[t] = m
 	id.types = sortedKeys(id.pool)
+	// The bank changed: every cached answer is now stale (the new type
+	// could accept fingerprints an old answer rejected).
+	id.cache.Purge()
 	return nil
+}
+
+// SetCache attaches (or, with nil, detaches) an identification cache.
+// Like SetWorkers it is a runtime rebinding with no effect on answers —
+// e.g. after LoadIdentifier, which restores models but not caches.
+func (id *Identifier) SetCache(c *IdentifyCache) {
+	id.mu.Lock()
+	defer id.mu.Unlock()
+	id.cache = c
+}
+
+// Cache returns the attached identification cache (nil when caching is
+// disabled).
+func (id *Identifier) Cache() *IdentifyCache {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	return id.cache
 }
 
 // buildModel fits the one-vs-rest classifier for t: all of t's
@@ -380,11 +414,27 @@ func (id *Identifier) identifyLocked(fp fingerprint.Fingerprint, workers int) Re
 	return res
 }
 
-// identifyObserved is identifyLocked plus the metrics observation;
-// every public identification path funnels through it so batch and
-// single calls account identically.
+// identifyObserved is identifyLocked plus the cache probe and metrics
+// observation; every public identification path funnels through it so
+// batch and single calls account — and cache — identically. The caller
+// holds at least a read lock, which is what makes the lookup sound:
+// AddType (the only bank mutation) write-locks, purges the cache, and
+// therefore cannot interleave between a stale read and our insert.
 func (id *Identifier) identifyObserved(fp fingerprint.Fingerprint, workers int) Result {
+	if id.cache == nil {
+		res := id.identifyLocked(fp, workers)
+		id.metrics.observe(res)
+		return res
+	}
+	key := fp.CanonicalKey()
+	if res, ok := id.cache.get(key); ok {
+		id.metrics.observeCache(true)
+		id.metrics.observe(res)
+		return res
+	}
 	res := id.identifyLocked(fp, workers)
+	id.cache.put(key, res)
+	id.metrics.observeCache(false)
 	id.metrics.observe(res)
 	return res
 }

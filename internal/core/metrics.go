@@ -17,6 +17,8 @@ type Metrics struct {
 	classifySec     *obs.Histogram
 	discriminateSec *obs.Histogram
 	matchCount      *obs.Histogram
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
 }
 
 // NewMetrics registers the identifier metric family on reg.
@@ -34,6 +36,23 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Edit-distance discrimination stage latency, for identifications that needed it.", nil),
 		matchCount: reg.Histogram("core_match_count",
 			"Number of accepting classifiers per identification.", obs.CountBuckets),
+		cacheHits: reg.CounterVec("core_identify_cache_total",
+			"Identification-cache lookups, by outcome.", "outcome").With("hit"),
+		cacheMisses: reg.CounterVec("core_identify_cache_total",
+			"Identification-cache lookups, by outcome.", "outcome").With("miss"),
+	}
+}
+
+// observeCache records one identification-cache lookup outcome. Safe on
+// a nil receiver.
+func (m *Metrics) observeCache(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.cacheHits.Inc()
+	} else {
+		m.cacheMisses.Inc()
 	}
 }
 

@@ -1,0 +1,49 @@
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// Key is the canonical content hash of a Fingerprint, usable as a map
+// key. Two fingerprints with the same Key are identical in F, F′ and
+// UniqueCount; the identification cache relies on this to guarantee
+// that a cached answer is bit-identical to what the classifier bank
+// would have produced for the probe.
+type Key [sha256.Size]byte
+
+// CanonicalKey hashes the fingerprint into its canonical Key. The hash
+// covers the full variable-length F sequence — not just F′ — because
+// the edit-distance discrimination stage reads F, so two fingerprints
+// that agree on F′ but differ in their tail could still identify
+// differently. Every float64 is hashed by its IEEE-754 bit pattern in
+// little-endian order, with length prefixes so (say) a 2-vector F
+// cannot collide with a 1-vector F that happens to share a byte
+// boundary.
+func (fp *Fingerprint) CanonicalKey() Key {
+	h := sha256.New()
+	var b [8]byte
+
+	binary.LittleEndian.PutUint64(b[:], uint64(len(fp.F)))
+	h.Write(b[:])
+	for _, v := range fp.F {
+		for _, f := range v {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+			h.Write(b[:])
+		}
+	}
+	// F′ and UniqueCount are pure functions of F, but hand-built
+	// Fingerprint values (deserialized, test fixtures) may disagree, so
+	// they are folded in defensively rather than assumed derivable.
+	for _, f := range fp.FPrime {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(fp.UniqueCount))
+	h.Write(b[:])
+
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

@@ -1,0 +1,67 @@
+package gateway
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+// nopAssessor returns a fixed clean assessment so the benchmarks
+// measure the gateway data path, not the classifier bank.
+type nopAssessor struct{}
+
+func (nopAssessor) Assess(fingerprint.Fingerprint) (iotssp.Assessment, error) {
+	return iotssp.Assessment{Type: "bench", Level: sdn.Trusted}, nil
+}
+
+func benchGateway(shards, queue int) *Gateway {
+	cache := sdn.NewRuleCache()
+	ctrl := sdn.NewController(cache, netip.Prefix{})
+	sw := sdn.NewSwitch(ctrl, time.Minute)
+	return New(nopAssessor{}, sw, Config{
+		IdleGap:     time.Hour,
+		Shards:      shards,
+		AssessQueue: queue,
+	})
+}
+
+// benchHandlePacket hammers HandlePacket from every benchmark
+// goroutine, each on its own stream of device MACs so parallel feeders
+// contend only on shared gateway structures — exactly the contention
+// the sharding is meant to remove. Compare the SingleLock and Sharded
+// variants (archived by `make bench-json`) to see the effect; on a
+// multi-core host the sharded number should pull far ahead.
+func benchHandlePacket(b *testing.B, shards, queue int) {
+	g := benchGateway(shards, queue)
+	defer g.Close()
+	base := time.Unix(7000, 0)
+	var worker atomic.Uint32
+	gwIP := netip.MustParseAddr("192.168.1.1")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := byte(worker.Add(1))
+		var i uint32
+		for pb.Next() {
+			i++
+			// A fresh MAC every few packets keeps captures short and
+			// spreads load across shards.
+			mac := packet.MAC{0x02, 0xBE, w, byte(i >> 10), byte(i >> 2), byte(i)}
+			pk := packet.NewUDP(mac, packet.MAC{2, 2, 2, 2, 2, 2},
+				netip.MustParseAddr("192.168.1.77"), gwIP, 40000+uint16(i%1000), 53, []byte("q"))
+			ts := base.Add(time.Duration(i) * time.Microsecond)
+			if _, err := g.HandlePacket(ts, pk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkHandlePacketSingleLock(b *testing.B) { benchHandlePacket(b, 1, 0) }
+
+func BenchmarkHandlePacketSharded(b *testing.B) { benchHandlePacket(b, 16, 256) }

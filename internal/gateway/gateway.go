@@ -84,6 +84,21 @@ type Config struct {
 	IdleGap time.Duration
 	// MaxSetupPackets caps the capture (default 300).
 	MaxSetupPackets int
+	// Shards stripes per-device state across this many locks (rounded
+	// up to a power of two; 0 selects DefaultShards). Packets from
+	// devices on different shards never contend; 1 reproduces the
+	// single-lock gateway. Sharding never changes device states or
+	// actions — only contention.
+	Shards int
+	// AssessQueue, when positive, moves identification off the packet
+	// path: each shard gets a bounded queue of this depth and a drain
+	// goroutine, HandlePacket enqueues finished captures instead of
+	// assessing inline, and queue overflow parks the oldest pending
+	// fingerprint in quarantine (drop-oldest, counted by the metrics
+	// bundle) rather than ever blocking forwarding. 0 keeps the
+	// synchronous behavior: the packet that completes a capture waits
+	// for the assessment. Call Close to stop the drain goroutines.
+	AssessQueue int
 	// OnAssessed, if set, is called after each device assessment.
 	OnAssessed func(DeviceInfo)
 	// OnNotify, if set, receives user notifications for devices whose
@@ -102,8 +117,9 @@ type Config struct {
 	// sight (Sect. III-A), and legacy migration re-keys WPS-capable
 	// devices (Sect. VIII-A).
 	Keystore *wps.Keystore
-	// Metrics, if set, receives device-state, quarantine and
-	// setup-capture instrumentation (see NewMetrics).
+	// Metrics, if set, receives device-state, quarantine, setup-
+	// capture, queue and packet-latency instrumentation (see
+	// NewMetrics).
 	Metrics *Metrics
 }
 
@@ -113,18 +129,25 @@ type quarantined struct {
 	since time.Time
 }
 
-// Gateway is the Security Gateway.
+// Gateway is the Security Gateway. Per-device state is striped across
+// Config.Shards locks (see shard.go); the quarantine queue is global
+// under its own mutex, locked only after any shard lock.
 type Gateway struct {
-	mu       sync.Mutex
 	cfg      Config
 	assessor iotssp.Assessor
 	sw       *sdn.Switch
 	monitor  *sdn.TrafficMonitor
-	captures map[packet.MAC]*fingerprint.SetupCapture
-	devices  map[packet.MAC]*DeviceInfo
-	// quarantine parks the fingerprints of devices whose assessment
-	// failed, bounded by cfg.MaxQuarantined.
+
+	shards    []*shard
+	shardMask uint32
+
+	// qmu guards quarantine. Lock order: shard.mu → qmu.
+	qmu        sync.Mutex
 	quarantine map[packet.MAC]*quarantined
+
+	// async, when non-nil, is the off-path assessment pipeline
+	// (Config.AssessQueue > 0).
+	async *asyncAssess
 }
 
 // New wires a gateway to its switch and the security service, and
@@ -132,15 +155,23 @@ type Gateway struct {
 func New(assessor iotssp.Assessor, sw *sdn.Switch, cfg Config) *Gateway {
 	mon := sdn.NewTrafficMonitor()
 	sw.SetMonitor(mon)
-	return &Gateway{
+	n := shardCount(cfg.Shards)
+	g := &Gateway{
 		cfg:        cfg,
 		assessor:   assessor,
 		sw:         sw,
 		monitor:    mon,
-		captures:   make(map[packet.MAC]*fingerprint.SetupCapture),
-		devices:    make(map[packet.MAC]*DeviceInfo),
+		shards:     make([]*shard, n),
+		shardMask:  uint32(n - 1),
 		quarantine: make(map[packet.MAC]*quarantined),
 	}
+	for i := range g.shards {
+		g.shards[i] = newShard()
+	}
+	if cfg.AssessQueue > 0 {
+		g.async = newAsyncAssess(g, n, cfg.AssessQueue)
+	}
+	return g
 }
 
 // Traffic exposes the per-device traffic monitor.
@@ -149,27 +180,47 @@ func (g *Gateway) Traffic() *sdn.TrafficMonitor { return g.monitor }
 // Switch exposes the enforcement switch.
 func (g *Gateway) Switch() *sdn.Switch { return g.sw }
 
+// Shards reports the resolved shard count.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
 // HandlePacket is the gateway's data path: every frame from the local
 // network passes through it. New MACs enter the monitoring state; when
-// their setup phase completes, the fingerprint goes to the IoTSSP and
-// the returned isolation level is enforced. Devices still in their
-// setup phase are forwarded without enforcement — identification
-// happens during the natural induction procedure, and their flows are
-// invalidated the moment the assessment lands.
+// their setup phase completes, the fingerprint goes to the IoTSSP
+// (inline, or via the bounded per-shard queue when Config.AssessQueue
+// is set) and the returned isolation level is enforced. Devices still
+// in their setup phase are forwarded without enforcement —
+// identification happens during the natural induction procedure, and
+// their flows are invalidated the moment the assessment lands.
+//
+// Only the shard owning pk.SrcMAC is locked, so concurrent calls for
+// devices on different shards never contend.
 func (g *Gateway) HandlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, error) {
-	g.mu.Lock()
-	info, known := g.devices[pk.SrcMAC]
+	if g.cfg.Metrics == nil {
+		return g.handlePacket(ts, pk)
+	}
+	start := time.Now()
+	act, err := g.handlePacket(ts, pk)
+	g.cfg.Metrics.observeHandle(time.Since(start))
+	return act, err
+}
+
+func (g *Gateway) handlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, error) {
+	idx := shardIndex(pk.SrcMAC, g.shardMask)
+	s := g.shards[idx]
+
+	s.mu.Lock()
+	info, known := s.devices[pk.SrcMAC]
 	if !known && !pk.SrcMAC.IsMulticast() {
 		info = &DeviceInfo{MAC: pk.SrcMAC, State: StateMonitoring, FirstSeen: ts}
-		g.devices[pk.SrcMAC] = info
-		g.captures[pk.SrcMAC] = fingerprint.NewSetupCapture(g.cfg.IdleGap, g.cfg.MaxSetupPackets)
+		s.devices[pk.SrcMAC] = info
+		s.captures[pk.SrcMAC] = fingerprint.NewSetupCapture(g.cfg.IdleGap, g.cfg.MaxSetupPackets)
 		g.cfg.Metrics.stateChange(0, StateMonitoring)
 		g.cfg.Metrics.captureOpened()
 		if g.cfg.Keystore != nil {
 			// The device joined via WPS: issue its device-specific
 			// WPA2 PSK (Sect. III-A).
 			if _, err := g.cfg.Keystore.Enroll(pk.SrcMAC); err != nil {
-				g.mu.Unlock()
+				s.mu.Unlock()
 				return sdn.ActionDrop, fmt.Errorf("gateway: enroll %v: %w", pk.SrcMAC, err)
 			}
 		}
@@ -178,29 +229,37 @@ func (g *Gateway) HandlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, err
 	if info != nil && info.State == StateMonitoring {
 		// The capture can be gone while the state is still monitoring:
 		// a concurrent FinishSetup/FinishAllSetups/FinalizeIdleCaptures
-		// claimed it and has not applied its assessment yet. Skip
-		// observation instead of nil-dereferencing the capture.
-		if cap := g.captures[pk.SrcMAC]; cap != nil {
+		// claimed it (or the assessment queue holds it) and the result
+		// has not been applied yet. Skip observation instead of
+		// nil-dereferencing the capture.
+		if cap := s.captures[pk.SrcMAC]; cap != nil {
 			if done := cap.Observe(ts, pk); done {
 				finished = cap
-				delete(g.captures, pk.SrcMAC)
+				delete(s.captures, pk.SrcMAC)
 				g.cfg.Metrics.captureCompleted(triggerPacket)
 			}
 			info.SetupPackets = cap.Len()
 		}
 	}
-	g.mu.Unlock()
+	s.mu.Unlock()
 
 	if finished != nil {
-		// An assessment failure quarantines the device (fail closed)
-		// instead of wedging it in monitoring; the packet then falls
-		// through to the switch under the strict quarantine rule.
-		g.assess(pk.SrcMAC, finished.Fingerprint(), ts)
+		if g.async != nil {
+			// Off-path identification: park the fingerprint on the
+			// shard's bounded queue and keep forwarding.
+			g.async.enqueue(g, idx, assessJob{mac: pk.SrcMAC, fp: finished.Fingerprint(), ts: ts})
+		} else {
+			// An assessment failure quarantines the device (fail
+			// closed) instead of wedging it in monitoring; the packet
+			// then falls through to the switch under the strict
+			// quarantine rule.
+			g.assess(pk.SrcMAC, finished.Fingerprint(), ts)
+		}
 	}
 
-	g.mu.Lock()
+	s.mu.Lock()
 	monitoring := info != nil && info.State == StateMonitoring
-	g.mu.Unlock()
+	s.mu.Unlock()
 	if monitoring {
 		// Setup-phase traffic flows freely so the induction procedure
 		// (and the fingerprint) completes.
@@ -215,12 +274,13 @@ func (g *Gateway) HandlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, err
 // than lost; FinishSetup still returns nil in that case — inspect the
 // device state to distinguish assessed from quarantined.
 func (g *Gateway) FinishSetup(mac packet.MAC, now time.Time) error {
-	g.mu.Lock()
-	cap, ok := g.captures[mac]
+	s := g.shardOf(mac)
+	s.mu.Lock()
+	cap, ok := s.captures[mac]
 	if ok {
-		delete(g.captures, mac)
+		delete(s.captures, mac)
 	}
-	g.mu.Unlock()
+	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("gateway: device %v is not being monitored", mac)
 	}
@@ -233,28 +293,32 @@ func (g *Gateway) FinishSetup(mac packet.MAC, now time.Time) error {
 // being monitored and assesses them as one batch: when the service
 // supports iotssp.BatchAssessor the pending fingerprints are pipelined
 // through the identifier's worker pool instead of being scored one by
-// one. Devices are processed in MAC order; the count of assessed
-// devices is returned. It is the bulk analogue of FinishSetup — use it
-// when draining the monitoring queue (replay end, shutdown, operator
-// "finish all").
+// one. Devices are processed in MAC order regardless of which shard
+// holds them; the count of assessed devices is returned. It is the bulk
+// analogue of FinishSetup — use it when draining the monitoring queue
+// (replay end, shutdown, operator "finish all").
 func (g *Gateway) FinishAllSetups(now time.Time) (int, error) {
-	g.mu.Lock()
-	macs := make([]packet.MAC, 0, len(g.captures))
-	for mac := range g.captures {
-		macs = append(macs, mac)
+	var macs []packet.MAC
+	byMAC := make(map[packet.MAC]fingerprint.Fingerprint)
+	for _, s := range g.shards {
+		s.mu.Lock()
+		for mac, cap := range s.captures {
+			macs = append(macs, mac)
+			byMAC[mac] = cap.Fingerprint()
+			delete(s.captures, mac)
+			g.cfg.Metrics.captureCompleted(triggerForced)
+		}
+		s.mu.Unlock()
 	}
 	sort.Slice(macs, func(i, j int) bool {
 		return bytes.Compare(macs[i][:], macs[j][:]) < 0
 	})
-	fps := make([]fingerprint.Fingerprint, len(macs))
-	for i, mac := range macs {
-		fps[i] = g.captures[mac].Fingerprint()
-		delete(g.captures, mac)
-		g.cfg.Metrics.captureCompleted(triggerForced)
-	}
-	g.mu.Unlock()
 	if len(macs) == 0 {
 		return 0, nil
+	}
+	fps := make([]fingerprint.Fingerprint, len(macs))
+	for i, mac := range macs {
+		fps[i] = byMAC[mac]
 	}
 	assessments, err := assessAll(g.assessor, fps)
 	if err == nil {
@@ -315,11 +379,12 @@ func (g *Gateway) quarantineDevice(mac packet.MAC, fp fingerprint.Fingerprint, n
 	g.sw.Controller().Quarantine(mac)
 	g.sw.InvalidateDevice(mac)
 
-	g.mu.Lock()
-	info := g.devices[mac]
+	s := g.shardOf(mac)
+	s.mu.Lock()
+	info := s.devices[mac]
 	if info == nil {
 		info = &DeviceInfo{MAC: mac, FirstSeen: now}
-		g.devices[mac] = info
+		s.devices[mac] = info
 	}
 	g.cfg.Metrics.stateChange(info.State, StateQuarantined)
 	info.State = StateQuarantined
@@ -328,6 +393,7 @@ func (g *Gateway) quarantineDevice(mac packet.MAC, fp fingerprint.Fingerprint, n
 		info.QuarantinedAt = now
 	}
 	info.AssessAttempts++
+	g.qmu.Lock()
 	if q, queued := g.quarantine[mac]; queued {
 		q.fp = fp
 	} else if len(g.quarantine) < g.maxQuarantined() {
@@ -335,8 +401,9 @@ func (g *Gateway) quarantineDevice(mac packet.MAC, fp fingerprint.Fingerprint, n
 	}
 	g.cfg.Metrics.incAssess(false)
 	g.cfg.Metrics.setQuarantineDepth(len(g.quarantine))
+	g.qmu.Unlock()
 	snapshot := *info
-	g.mu.Unlock()
+	s.mu.Unlock()
 
 	if g.cfg.OnQuarantined != nil {
 		g.cfg.OnQuarantined(snapshot, cause)
@@ -352,8 +419,8 @@ func (g *Gateway) maxQuarantined() int {
 
 // QuarantineLen returns the number of fingerprints parked for retry.
 func (g *Gateway) QuarantineLen() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.qmu.Lock()
+	defer g.qmu.Unlock()
 	return len(g.quarantine)
 }
 
@@ -364,7 +431,7 @@ func (g *Gateway) QuarantineLen() int {
 // the rest of the queue would only burn backoff budget. It returns the
 // number of devices promoted and the error that stopped the drain.
 func (g *Gateway) RetryQuarantined(now time.Time) (int, error) {
-	g.mu.Lock()
+	g.qmu.Lock()
 	macs := make([]packet.MAC, 0, len(g.quarantine))
 	for mac := range g.quarantine {
 		macs = append(macs, mac)
@@ -376,23 +443,24 @@ func (g *Gateway) RetryQuarantined(now time.Time) (int, error) {
 	for i, mac := range macs {
 		fps[i] = g.quarantine[mac].fp
 	}
-	g.mu.Unlock()
+	g.qmu.Unlock()
 
 	promoted := 0
 	for i, mac := range macs {
 		a, err := g.assessor.Assess(fps[i])
 		if err != nil {
 			g.cfg.Metrics.incRetry(false)
-			g.mu.Lock()
-			if info := g.devices[mac]; info != nil && info.State == StateQuarantined {
+			s := g.shardOf(mac)
+			s.mu.Lock()
+			if info := s.devices[mac]; info != nil && info.State == StateQuarantined {
 				info.AssessAttempts++
 			}
-			g.mu.Unlock()
+			s.mu.Unlock()
 			return promoted, err
 		}
-		g.mu.Lock()
+		g.qmu.Lock()
 		_, still := g.quarantine[mac]
-		g.mu.Unlock()
+		g.qmu.Unlock()
 		if !still {
 			// Removed concurrently (RemoveDevice or a parallel drain).
 			continue
@@ -411,26 +479,25 @@ func (g *Gateway) RetryQuarantined(now time.Time) (int, error) {
 // the expiry worker sweeps these. Returns the number of devices
 // finalized (each is assessed, or quarantined if the service is down).
 func (g *Gateway) FinalizeIdleCaptures(now time.Time) int {
-	g.mu.Lock()
 	var macs []packet.MAC
-	for mac, cap := range g.captures {
-		if cap.Len() > 0 && now.Sub(cap.LastSeen()) >= cap.IdleGap {
-			macs = append(macs, mac)
+	byMAC := make(map[packet.MAC]fingerprint.Fingerprint)
+	for _, s := range g.shards {
+		s.mu.Lock()
+		for mac, cap := range s.captures {
+			if cap.Len() > 0 && now.Sub(cap.LastSeen()) >= cap.IdleGap {
+				macs = append(macs, mac)
+				byMAC[mac] = cap.Fingerprint()
+				delete(s.captures, mac)
+				g.cfg.Metrics.captureCompleted(triggerIdle)
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(macs, func(i, j int) bool {
 		return bytes.Compare(macs[i][:], macs[j][:]) < 0
 	})
-	fps := make([]fingerprint.Fingerprint, len(macs))
-	for i, mac := range macs {
-		fps[i] = g.captures[mac].Fingerprint()
-		delete(g.captures, mac)
-		g.cfg.Metrics.captureCompleted(triggerIdle)
-	}
-	g.mu.Unlock()
-
-	for i, mac := range macs {
-		g.assess(mac, fps[i], now)
+	for _, mac := range macs {
+		g.assess(mac, byMAC[mac], now)
 	}
 	return len(macs)
 }
@@ -447,11 +514,12 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 	g.sw.Controller().Rules().Put(rule)
 	g.sw.InvalidateDevice(mac)
 
-	g.mu.Lock()
-	info := g.devices[mac]
+	s := g.shardOf(mac)
+	s.mu.Lock()
+	info := s.devices[mac]
 	if info == nil {
 		info = &DeviceInfo{MAC: mac, FirstSeen: now}
-		g.devices[mac] = info
+		s.devices[mac] = info
 	}
 	g.cfg.Metrics.stateChange(info.State, StateAssessed)
 	info.State = StateAssessed
@@ -461,11 +529,13 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 	info.Vulnerabilities = a.Vulnerabilities
 	info.QuarantinedAt = time.Time{}
 	info.AssessAttempts = 0
+	g.qmu.Lock()
 	delete(g.quarantine, mac)
 	g.cfg.Metrics.incAssess(true)
 	g.cfg.Metrics.setQuarantineDepth(len(g.quarantine))
+	g.qmu.Unlock()
 	snapshot := *info
-	g.mu.Unlock()
+	s.mu.Unlock()
 
 	if g.cfg.OnAssessed != nil {
 		g.cfg.OnAssessed(snapshot)
@@ -489,15 +559,18 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 // rule and installed flows are evicted (the rule-cache pruning the
 // paper describes for departed devices).
 func (g *Gateway) RemoveDevice(mac packet.MAC) {
-	g.mu.Lock()
-	if info := g.devices[mac]; info != nil {
+	s := g.shardOf(mac)
+	s.mu.Lock()
+	if info := s.devices[mac]; info != nil {
 		g.cfg.Metrics.stateChange(info.State, 0)
 	}
-	delete(g.devices, mac)
-	delete(g.captures, mac)
+	delete(s.devices, mac)
+	delete(s.captures, mac)
+	g.qmu.Lock()
 	delete(g.quarantine, mac)
 	g.cfg.Metrics.setQuarantineDepth(len(g.quarantine))
-	g.mu.Unlock()
+	g.qmu.Unlock()
+	s.mu.Unlock()
 	g.sw.Controller().Rules().Remove(mac)
 	g.sw.InvalidateDevice(mac)
 	g.monitor.Forget(mac)
@@ -508,9 +581,10 @@ func (g *Gateway) RemoveDevice(mac packet.MAC) {
 
 // Device returns the gateway's view of one device.
 func (g *Gateway) Device(mac packet.MAC) (DeviceInfo, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	info, ok := g.devices[mac]
+	s := g.shardOf(mac)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.devices[mac]
 	if !ok {
 		return DeviceInfo{}, false
 	}
@@ -519,11 +593,13 @@ func (g *Gateway) Device(mac packet.MAC) (DeviceInfo, bool) {
 
 // Devices returns all known devices sorted by MAC.
 func (g *Gateway) Devices() []DeviceInfo {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make([]DeviceInfo, 0, len(g.devices))
-	for _, info := range g.devices {
-		out = append(out, *info)
+	var out []DeviceInfo
+	for _, s := range g.shards {
+		s.mu.Lock()
+		for _, info := range s.devices {
+			out = append(out, *info)
+		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return out[i].MAC.String() < out[j].MAC.String()

@@ -89,8 +89,9 @@ func (g *Gateway) MigrateLegacy(devs []LegacyDevice, now time.Time) ([]LegacyOut
 		g.sw.Controller().Rules().Put(rule)
 		g.sw.InvalidateDevice(d.MAC)
 
-		g.mu.Lock()
-		g.devices[d.MAC] = &DeviceInfo{
+		s := g.shardOf(d.MAC)
+		s.mu.Lock()
+		s.devices[d.MAC] = &DeviceInfo{
 			MAC:             d.MAC,
 			State:           StateAssessed,
 			Type:            a.Type,
@@ -99,7 +100,7 @@ func (g *Gateway) MigrateLegacy(devs []LegacyDevice, now time.Time) ([]LegacyOut
 			AssessedAt:      now,
 			Vulnerabilities: a.Vulnerabilities,
 		}
-		g.mu.Unlock()
+		s.mu.Unlock()
 		out = append(out, o)
 	}
 	return out, nil

@@ -1,6 +1,8 @@
 package gateway
 
 import (
+	"time"
+
 	"iotsentinel/internal/obs"
 )
 
@@ -16,6 +18,9 @@ import (
 //	gateway_assessments_total{outcome="success|failure"}      counter
 //	gateway_quarantine_retries_total{outcome="promoted|failed"} counter
 //	gateway_setup_captures_total{event="opened|completed_packet|completed_forced|completed_idle"} counter
+//	gateway_handle_packet_seconds                             histogram
+//	gateway_assess_queue_depth                                gauge
+//	gateway_assess_queue_drops_total                          counter
 type Metrics struct {
 	devices         map[DeviceState]*obs.Gauge
 	quarantineDepth *obs.Gauge
@@ -27,6 +32,9 @@ type Metrics struct {
 	capPacket       *obs.Counter
 	capForced       *obs.Counter
 	capIdle         *obs.Counter
+	handleSeconds   *obs.Histogram
+	queueDepth      *obs.Gauge
+	queueDrops      *obs.Counter
 }
 
 // NewMetrics registers the gateway metric family on reg.
@@ -55,6 +63,43 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		capPacket:     captures.With("completed_packet"),
 		capForced:     captures.With("completed_forced"),
 		capIdle:       captures.With("completed_idle"),
+		handleSeconds: reg.Histogram("gateway_handle_packet_seconds",
+			"HandlePacket data-path latency.", nil),
+		queueDepth: reg.Gauge("gateway_assess_queue_depth",
+			"Fingerprints waiting on the asynchronous assessment queues, all shards."),
+		queueDrops: reg.Counter("gateway_assess_queue_drops_total",
+			"Pending assessments evicted (drop-oldest) from a full shard queue and parked in quarantine."),
+	}
+}
+
+// observeHandle records one data-path traversal. Safe on nil.
+func (m *Metrics) observeHandle(d time.Duration) {
+	if m != nil {
+		m.handleSeconds.ObserveDuration(d)
+	}
+}
+
+// HandleLatency exposes the data-path latency histogram (nil when the
+// bundle is nil); loadgen reads its snapshot for p99 reporting.
+func (m *Metrics) HandleLatency() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.handleSeconds
+}
+
+// queueDepthAdd moves the aggregate assess-queue depth gauge. Safe on
+// nil.
+func (m *Metrics) queueDepthAdd(d int64) {
+	if m != nil {
+		m.queueDepth.Add(d)
+	}
+}
+
+// incQueueDrop counts one drop-oldest eviction. Safe on nil.
+func (m *Metrics) incQueueDrop() {
+	if m != nil {
+		m.queueDrops.Inc()
 	}
 }
 

@@ -183,9 +183,10 @@ func TestHandlePacketSurvivesMissingCapture(t *testing.T) {
 	}
 	// Simulate the FinishSetup window: capture claimed, state still
 	// monitoring.
-	g.mu.Lock()
-	delete(g.captures, mac)
-	g.mu.Unlock()
+	s := g.shardOf(mac)
+	s.mu.Lock()
+	delete(s.captures, mac)
+	s.mu.Unlock()
 
 	act, err := g.HandlePacket(base.Add(time.Second), pk)
 	if err != nil {

@@ -138,6 +138,35 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the containing bucket, the same way Prometheus's
+// histogram_quantile does. Samples in the open-ended +Inf bucket are
+// reported as the highest finite bound: the estimate saturates rather
+// than inventing a value. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * float64(total)
+	var cum, lower float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n > 0 && cum+n >= rank {
+			if i >= len(h.bounds) {
+				return lower // +Inf bucket: saturate at the last bound
+			}
+			return lower + (h.bounds[i]-lower)*(rank-cum)/n
+		}
+		cum += n
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return lower
+}
+
 // DefLatencyBuckets spans 1µs–10s, wide enough for both the
 // sub-millisecond classify path and multi-second backoff sleeps.
 var DefLatencyBuckets = []float64{

@@ -245,3 +245,35 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Errorf("histogram sum = %v, want %v", got, want)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "h", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 samples uniform in (0,1]: every one lands in the le=1 bucket,
+	// so any quantile interpolates inside [0,1].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); got != 0.5 {
+		t.Errorf("median = %v, want 0.5 (interpolated half of first bucket)", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v, want 1", got)
+	}
+	// Push 100 more into (1,2]: p99 of the combined 200 sits in the
+	// second bucket: rank 198 of 200, 98 into the 100-sample bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(1 + float64(i)/100)
+	}
+	if got := h.Quantile(0.99); got != 1.98 {
+		t.Errorf("p99 = %v, want 1.98", got)
+	}
+	// A sample beyond the last bound saturates at that bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p100 with +Inf sample = %v, want 8 (saturated)", got)
+	}
+}

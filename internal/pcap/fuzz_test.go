@@ -1,0 +1,173 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// validPcap builds a little-endian classic capture with the given
+// payloads, via the production Writer so the seeds track the written
+// format exactly.
+func validPcap(tb testing.TB, payloads ...[]byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i, p := range payloads {
+		if err := w.WriteRecord(Record{Time: time.Unix(1460000000+int64(i), 0), Data: p}); err != nil {
+			tb.Fatalf("seed write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// ngBlock frames one pcapng block: type, length, body (padded), length.
+func ngBlock(typ uint32, body []byte) []byte {
+	pad := (4 - len(body)%4) % 4
+	total := uint32(12 + len(body) + pad)
+	out := make([]byte, 0, total)
+	out = binary.LittleEndian.AppendUint32(out, typ)
+	out = binary.LittleEndian.AppendUint32(out, total)
+	out = append(out, body...)
+	out = append(out, make([]byte, pad)...)
+	return binary.LittleEndian.AppendUint32(out, total)
+}
+
+func ngSHB() []byte {
+	body := make([]byte, 16)
+	binary.LittleEndian.PutUint32(body[0:4], byteOrderMagic)
+	binary.LittleEndian.PutUint16(body[4:6], 1) // major
+	copy(body[8:16], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	return ngBlock(blockSHB, body)
+}
+
+// ngIDB emits an interface description; tsresol < 0 omits the option.
+func ngIDB(snapLen uint32, tsresol int) []byte {
+	body := make([]byte, 8)
+	binary.LittleEndian.PutUint16(body[0:2], 1) // LINKTYPE_ETHERNET
+	binary.LittleEndian.PutUint32(body[4:8], snapLen)
+	if tsresol >= 0 {
+		opt := make([]byte, 8)
+		binary.LittleEndian.PutUint16(opt[0:2], 9) // if_tsresol
+		binary.LittleEndian.PutUint16(opt[2:4], 1)
+		opt[4] = byte(tsresol)
+		body = append(body, opt...)
+	}
+	return ngBlock(blockIDB, body)
+}
+
+func ngEPB(ifID uint32, ts uint64, data []byte) []byte {
+	body := make([]byte, 20, 20+len(data))
+	binary.LittleEndian.PutUint32(body[0:4], ifID)
+	binary.LittleEndian.PutUint32(body[4:8], uint32(ts>>32))
+	binary.LittleEndian.PutUint32(body[8:12], uint32(ts))
+	binary.LittleEndian.PutUint32(body[12:16], uint32(len(data)))
+	binary.LittleEndian.PutUint32(body[16:20], uint32(len(data)))
+	return ngBlock(blockEPB, append(body, data...))
+}
+
+func validPcapNG(frames ...[]byte) []byte {
+	out := append(ngSHB(), ngIDB(65535, 6)...)
+	for i, f := range frames {
+		out = append(out, ngEPB(0, uint64(1460000000000000+i), f)...)
+	}
+	return out
+}
+
+// FuzzReadPcap throws arbitrary bytes at the classic pcap reader. The
+// contract under test: ReadAll either returns records that respect the
+// format's own bounds or an error — it never panics, and it never
+// fabricates empty or oversized frames.
+func FuzzReadPcap(f *testing.F) {
+	f.Add(validPcap(f, []byte{0xde, 0xad, 0xbe, 0xef}, bytes.Repeat([]byte{0xab}, 1500)))
+	f.Add(validPcap(f, []byte{0x01})[:20]) // truncated global header
+	f.Add(validPcap(f, []byte{0x01})[:30]) // truncated record header
+	f.Add([]byte{0xd4, 0xc3, 0xb2, 0xa1})  // magic only
+	hugeSnap := validPcap(f, []byte{0x01}) // snaplen beyond MaxSnapLen
+	binary.LittleEndian.PutUint32(hugeSnap[16:20], 1<<30)
+	f.Add(hugeSnap)
+	zeroRec := validPcap(f, []byte{0x01}) // capLen patched to zero
+	binary.LittleEndian.PutUint32(zeroRec[globalHeaderLen+8:], 0)
+	f.Add(zeroRec)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if len(r.Data) == 0 || len(r.Data) > MaxSnapLen {
+				t.Fatalf("reader accepted a %d-byte record", len(r.Data))
+			}
+		}
+	})
+}
+
+// FuzzReadPcapNG does the same for the pcapng reader, routed through
+// ReadAllAuto so format sniffing is fuzzed too. The seeds cover the
+// historical panics: if_tsresol values whose divisor overflows to zero
+// (10^64 and 2^64 are both ≡ 0 mod 2^64) and option lengths whose
+// padding runs past the option area.
+func FuzzReadPcapNG(f *testing.F) {
+	f.Add(validPcapNG([]byte{0xde, 0xad, 0xbe, 0xef}))
+	f.Add(validPcapNG(bytes.Repeat([]byte{0x55}, 60), []byte{0x01}))
+	f.Add(ngSHB())                                                                   // section header only
+	f.Add(ngSHB()[:10])                                                              // truncated SHB
+	f.Add(append(ngSHB(), ngIDB(0, -1)...))                                          // zero snaplen, no tsresol
+	f.Add(append(append(ngSHB(), ngIDB(65535, 0x40)...), ngEPB(0, 1, []byte{1})...)) // 10^-64: old div-by-zero
+	f.Add(append(append(ngSHB(), ngIDB(65535, 0xc0)...), ngEPB(0, 1, []byte{1})...)) // 2^-64: old div-by-zero
+	f.Add(append(ngSHB(), ngEPB(0, 1, []byte{1})...))                                // EPB before any IDB
+	f.Add(append(append(ngSHB(), ngIDB(65535, 6)...), ngEPB(0, 1, nil)...))          // zero-length EPB
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAllAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if len(r.Data) == 0 || len(r.Data) > MaxSnapLen {
+				t.Fatalf("reader accepted a %d-byte record", len(r.Data))
+			}
+		}
+	})
+}
+
+// TestNGTsresolHostileValues pins the fixed division-by-zero: tsresol
+// exponents whose divisor would overflow uint64 (or lose nanosecond
+// precision) must be rejected as errors, not crash timestamp math.
+func TestNGTsresolHostileValues(t *testing.T) {
+	for _, tsresol := range []int{0x40, 0x7f, 0xc0, 0xff, 10, 19} {
+		raw := append(append(ngSHB(), ngIDB(65535, tsresol)...), ngEPB(0, 1, []byte{1})...)
+		if _, err := ReadAllAuto(bytes.NewReader(raw)); err == nil {
+			t.Errorf("if_tsresol %#x accepted, want error", tsresol)
+		}
+	}
+	// Sane values still parse.
+	for _, tsresol := range []int{-1, 0, 6, 9, 0x80 | 10, 0x80 | 30} {
+		raw := append(append(ngSHB(), ngIDB(65535, tsresol)...), ngEPB(0, 1<<20, []byte{1})...)
+		if _, err := ReadAllAuto(bytes.NewReader(raw)); err != nil {
+			t.Errorf("if_tsresol %#x rejected: %v", tsresol, err)
+		}
+	}
+}
+
+// TestZeroLengthRecordsRejected pins the zero-length contract across
+// both formats.
+func TestZeroLengthRecordsRejected(t *testing.T) {
+	zero := validPcap(t, []byte{0x01})
+	binary.LittleEndian.PutUint32(zero[globalHeaderLen+8:], 0)
+	if _, err := ReadAll(bytes.NewReader(zero)); err == nil {
+		t.Error("classic pcap: zero-length record accepted")
+	}
+	ng := append(append(ngSHB(), ngIDB(65535, 6)...), ngEPB(0, 1, nil)...)
+	if _, err := ReadAllAuto(bytes.NewReader(ng)); err == nil {
+		t.Error("pcapng: zero-length EPB accepted")
+	}
+	if err := NewWriter(bytes.NewBuffer(nil)).WriteRecord(Record{}); err == nil {
+		t.Error("writer: zero-length record accepted")
+	}
+}

@@ -77,6 +77,9 @@ func (w *Writer) WriteRecord(rec Record) error {
 	if err := w.writeHeader(); err != nil {
 		return err
 	}
+	if len(rec.Data) == 0 {
+		return fmt.Errorf("pcap: zero-length record")
+	}
 	if len(rec.Data) > int(w.snapLen) {
 		return fmt.Errorf("pcap: record of %d bytes exceeds snap length %d", len(rec.Data), w.snapLen)
 	}
@@ -152,6 +155,9 @@ func (r *Reader) ReadRecord() (Record, error) {
 	usec := r.order.Uint32(hdr[4:8])
 	capLen := r.order.Uint32(hdr[8:12])
 	origLen := r.order.Uint32(hdr[12:16])
+	if capLen == 0 {
+		return Record{}, fmt.Errorf("pcap: zero-length record")
+	}
 	if capLen > r.snapLen {
 		return Record{}, fmt.Errorf("pcap: record length %d exceeds snap length %d", capLen, r.snapLen)
 	}

@@ -180,13 +180,27 @@ func (r *NGReader) parseIDB(body []byte) error {
 		}
 		if code == 9 && olen >= 1 { // if_tsresol
 			v := opts[4]
+			// Bound the exponent so tsPerSec stays nonzero (a zero
+			// divisor would panic in parseEPB) and the ns conversion
+			// frac*1e9 cannot overflow uint64. 10^9 / 2^30 already
+			// exceed nanosecond resolution; larger values only appear
+			// in corrupt or hostile files.
 			if v&0x80 == 0 {
+				if v > 9 {
+					return fmt.Errorf("pcapng: unsupported if_tsresol 10^-%d", v)
+				}
 				iface.tsPerSec = pow10(int(v))
 			} else {
+				if v&0x7f > 30 {
+					return fmt.Errorf("pcapng: unsupported if_tsresol 2^-%d", v&0x7f)
+				}
 				iface.tsPerSec = 1 << (v & 0x7f)
 			}
 		}
 		pad := (4 - olen%4) % 4
+		if 4+olen+pad > len(opts) {
+			break // padding would run past the option area
+		}
 		opts = opts[4+olen+pad:]
 		if code == 0 { // opt_endofopt
 			break
@@ -208,6 +222,12 @@ func (r *NGReader) parseEPB(body []byte) (Record, error) {
 	tsRaw := uint64(r.order.Uint32(body[4:8]))<<32 | uint64(r.order.Uint32(body[8:12]))
 	capLen := r.order.Uint32(body[12:16])
 	origLen := r.order.Uint32(body[16:20])
+	if capLen == 0 {
+		return Record{}, fmt.Errorf("pcapng: zero-length EPB record")
+	}
+	if capLen > MaxSnapLen {
+		return Record{}, fmt.Errorf("pcapng: EPB capture length %d exceeds snap bound %d", capLen, MaxSnapLen)
+	}
 	if int(capLen) > len(body)-20 {
 		return Record{}, fmt.Errorf("pcapng: EPB capture length %d exceeds body", capLen)
 	}
@@ -236,6 +256,12 @@ func (r *NGReader) parseSPB(body []byte) (Record, error) {
 	snap := r.ifaces[0].snapLen
 	if snap != 0 && origLen < capLen {
 		capLen = origLen
+	}
+	if capLen == 0 {
+		return Record{}, fmt.Errorf("pcapng: zero-length SPB record")
+	}
+	if capLen > MaxSnapLen {
+		return Record{}, fmt.Errorf("pcapng: SPB capture length %d exceeds snap bound %d", capLen, MaxSnapLen)
 	}
 	data := make([]byte, capLen)
 	copy(data, body[4:4+capLen])
