@@ -1,18 +1,20 @@
 # IoT Sentinel build/test entry points. `make verify` is the tier-1
 # gate (vet + gofmt check + build + shuffled full test suite + a short
-# -race pass over the gateway and the metrics registry + a short fuzz
-# pass over the capture readers); `make test-race` covers the
+# -race pass over the gateway, durable store and metrics registry + the
+# crash fault-injection sweep + a short fuzz pass over the capture
+# readers and the model deserializer); `make test-race` covers the
 # concurrent classifier bank, gateway and enforcement plane in full;
-# `make fuzz` runs each pcap fuzz target for FUZZTIME; `make bench`
-# runs every paper-table benchmark plus the parallel train/identify
-# sweeps; `make bench-json` archives the hot-path benchmarks as
-# BENCH_<date>.json for cross-commit diffing.
+# `make fuzz` runs each fuzz target for FUZZTIME; `make crash` runs the
+# journal truncation/corruption sweeps and restart differential tests;
+# `make bench` runs every paper-table benchmark plus the parallel
+# train/identify sweeps; `make bench-json` archives the hot-path
+# benchmarks as BENCH_<date>.json for cross-commit diffing.
 
 GO ?= go
 BENCH_PKGS ?= ./internal/...
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check verify test test-race fuzz bench bench-parallel bench-json clean
+.PHONY: all build vet fmt-check verify test test-race fuzz crash bench bench-parallel bench-json clean
 
 all: verify
 
@@ -22,7 +24,8 @@ fmt-check:
 
 verify: vet fmt-check build
 	$(GO) test -shuffle=on ./...
-	$(GO) test -race -count=1 ./internal/gateway/... ./internal/obs/...
+	$(GO) test -race -count=1 ./internal/gateway/... ./internal/obs/... ./internal/store/...
+	$(MAKE) crash
 	$(MAKE) fuzz
 
 build:
@@ -40,6 +43,14 @@ test-race:
 fuzz:
 	$(GO) test -fuzz='^FuzzReadPcap$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
 	$(GO) test -fuzz='^FuzzReadPcapNG$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
+	$(GO) test -fuzz='^FuzzLoad$$' -fuzztime=$(FUZZTIME) ./internal/ml/rf/
+
+# The crash fault-injection sweep: journal torn-tail truncation at
+# every byte, single-byte corruption at every byte, snapshot damage,
+# and the quarantined-before-crash -> promoted-after-restart flow.
+crash:
+	$(GO) test -count=1 -run 'TestCrashRecovery|TestRestartResumes|TestJournalTornTail|TestJournalCorruption|TestSnapshotCorruption' \
+		./internal/gateway/ ./internal/store/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

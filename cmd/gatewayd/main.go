@@ -9,6 +9,14 @@
 //	gatewayd -api 127.0.0.1:8080 -ssp http://host:8477 # remote IoTSSP
 //	gatewayd -replay ./dataset -api 127.0.0.1:8080     # replay pcaps, then serve
 //	gatewayd -metrics-addr 127.0.0.1:9090              # also serve /metrics + pprof
+//	gatewayd -state-dir /var/lib/gatewayd              # durable state + warm boot
+//
+// With -state-dir, device lifecycle state is journaled and the trained
+// model bank is persisted: a restart recovers every device, its
+// quarantine entry, and its enforcement rule from disk (milliseconds)
+// instead of retraining and re-capturing. SIGHUP revalidates and
+// hot-reloads the model bank from the state dir; SIGTERM/^C drains the
+// assessment pipeline and checkpoints before exiting.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"iotsentinel/internal/core"
@@ -37,6 +46,7 @@ import (
 	"iotsentinel/internal/packet"
 	"iotsentinel/internal/pcap"
 	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/store"
 	"iotsentinel/internal/vulndb"
 )
 
@@ -63,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		metricsAddr   = fs.String("metrics-addr", "", "listen address for /metrics and /debug/pprof (default: disabled)")
 		shards        = fs.Int("shards", gateway.DefaultShards, "device-state shards (rounded up to a power of two)")
 		cacheSize     = fs.Int("cache-size", core.DefaultCacheSize, "identification-cache entries for the in-process service (0 = disabled)")
+		stateDir      = fs.String("state-dir", "", "directory for the durable journal, snapshots, and model store (default: in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,7 +86,26 @@ func run(args []string, out io.Writer) error {
 		gwMetrics = gateway.NewMetrics(reg)
 	}
 
-	assessor, err := buildAssessor(out, reg, *sspURL, *captures, *seed, *workers, *cacheSize, *assessTimeout, *assessRetries)
+	// Durable state: open (and recover) before anything else so a torn
+	// journal is discovered — and truncated — before new events append.
+	var st *store.Store
+	var rec *store.Recovery
+	if *stateDir != "" {
+		var stMetrics *store.Metrics
+		if reg != nil {
+			stMetrics = store.NewMetrics(reg)
+		}
+		var err error
+		st, rec, err = store.Open(*stateDir, store.Options{
+			Metrics: stMetrics,
+			Logf:    func(format string, a ...any) { fmt.Fprintf(out, "state: "+format+"\n", a...) },
+		})
+		if err != nil {
+			return fmt.Errorf("state dir: %w", err)
+		}
+	}
+
+	assessor, svc, err := buildAssessor(out, reg, st, *sspURL, *captures, *seed, *workers, *cacheSize, *assessTimeout, *assessRetries)
 	if err != nil {
 		return err
 	}
@@ -88,6 +118,10 @@ func run(args []string, out io.Writer) error {
 	gw := gateway.New(assessor, sw, gateway.Config{
 		Shards:  *shards,
 		Metrics: gwMetrics,
+		Store:   st,
+		OnStoreError: func(err error) {
+			fmt.Fprintf(os.Stderr, "gatewayd: state journal: %v\n", err)
+		},
 		OnAssessed: func(d gateway.DeviceInfo) {
 			fmt.Fprintf(out, "assessed %v as %q -> %s\n", d.MAC, orUnknown(string(d.Type)), d.Level)
 		},
@@ -98,6 +132,48 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "quarantined %v (strict, attempt %d): %v\n", d.MAC, d.AssessAttempts, cause)
 		},
 	})
+	if st != nil {
+		stats, err := gw.Recover(rec, time.Now())
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		fmt.Fprintf(out, "state: recovered %s\n", stats)
+		// Graceful teardown, registered before the workers so it runs
+		// after their deferred Shutdowns: drain the assessment pipeline,
+		// checkpoint, close the journal.
+		defer func() {
+			if err := gw.Shutdown(); err != nil {
+				fmt.Fprintf(os.Stderr, "gatewayd: checkpoint: %v\n", err)
+			}
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "gatewayd: state close: %v\n", err)
+				return
+			}
+			fmt.Fprintln(out, "state: checkpointed, clean shutdown")
+		}()
+	}
+
+	// SIGHUP: revalidate the on-disk model bank (checksum + structural
+	// load) and swap it in without dropping a packet. A bad model on
+	// disk is reported and the running bank stays.
+	if st != nil && svc != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				id, man, err := st.Models().Load()
+				if err == nil {
+					err = svc.ReplaceIdentifier(id)
+				}
+				if err != nil {
+					fmt.Fprintf(out, "state: model reload rejected, keeping current bank: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(out, "state: model bank hot-reloaded (%d types, sha256 %.8s)\n", man.Types, man.SHA256)
+			}
+		}()
+	}
 
 	if *replayDir != "" {
 		if err := replay(out, gw, *replayDir); err != nil {
@@ -134,7 +210,10 @@ func run(args []string, out io.Writer) error {
 	srv := &http.Server{Handler: gw.APIHandler(nil), ReadHeaderTimeout: 10 * time.Second}
 	fmt.Fprintf(out, "management API listening on %s\n", ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is what init systems and container runtimes send; treat it
+	// like ^C so the deferred drain + checkpoint above runs instead of
+	// the process dying with a dirty journal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -155,9 +234,13 @@ func run(args []string, out io.Writer) error {
 // in-process service trained on the reference dataset. The remote
 // client gets the full fault-tolerance stack: per-attempt timeout,
 // bounded retries with backoff, and a circuit breaker so a down service
-// fails fast instead of stalling the data path.
-func buildAssessor(out io.Writer, reg *obs.Registry, sspURL string, captures int, seed int64, workers, cacheSize int,
-	assessTimeout time.Duration, assessRetries int) (iotssp.Assessor, error) {
+// fails fast instead of stalling the data path. With a state store, the
+// in-process path warm-boots from the persisted model bank (validated
+// before use) and falls back to training — then persists the result so
+// the next boot is warm. The returned *Service is nil for the remote
+// client (there is no local bank to hot-reload).
+func buildAssessor(out io.Writer, reg *obs.Registry, st *store.Store, sspURL string, captures int, seed int64, workers, cacheSize int,
+	assessTimeout time.Duration, assessRetries int) (iotssp.Assessor, *iotssp.Service, error) {
 	if sspURL != "" {
 		fmt.Fprintf(out, "using remote IoT Security Service at %s\n", sspURL)
 		if assessRetries < 0 {
@@ -174,7 +257,37 @@ func buildAssessor(out io.Writer, reg *obs.Registry, sspURL string, captures int
 			client.Metrics = iotssp.NewClientMetrics(reg)
 			client.Metrics.ObserveBreaker(breaker)
 		}
-		return client, nil
+		return client, nil, nil
+	}
+
+	id, err := loadOrTrain(out, st, captures, seed, workers, cacheSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	if reg != nil {
+		id.SetMetrics(core.NewMetrics(reg))
+	}
+	svc := iotssp.New(id, vulndb.NewDefault())
+	return svc, svc, nil
+}
+
+// loadOrTrain is the warm-boot path: a valid persisted model loads in
+// milliseconds; anything else (cold start, checksum mismatch, stale
+// format) falls back to training and re-persists.
+func loadOrTrain(out io.Writer, st *store.Store, captures int, seed int64, workers, cacheSize int) (*core.Identifier, error) {
+	var ms *store.ModelStore
+	if st != nil {
+		ms = st.Models()
+		if ms.Exists() {
+			start := time.Now()
+			id, man, err := ms.Load()
+			if err == nil {
+				fmt.Fprintf(out, "state: loaded model bank from disk in %v (%d types, sha256 %.8s)\n",
+					time.Since(start).Round(time.Millisecond), man.Types, man.SHA256)
+				return id, nil
+			}
+			fmt.Fprintf(out, "state: persisted model rejected (%v), retraining\n", err)
+		}
 	}
 	fmt.Fprintf(out, "training in-process IoT Security Service (%d captures x 27 types)...\n", captures)
 	raw := devices.GenerateDataset(captures, seed)
@@ -186,10 +299,15 @@ func buildAssessor(out io.Writer, reg *obs.Registry, sspURL string, captures int
 	if err != nil {
 		return nil, err
 	}
-	if reg != nil {
-		id.SetMetrics(core.NewMetrics(reg))
+	if ms != nil {
+		ms.LoadedFromTraining()
+		if man, err := ms.Save(id); err != nil {
+			fmt.Fprintf(out, "state: could not persist model bank: %v\n", err)
+		} else {
+			fmt.Fprintf(out, "state: persisted model bank (sha256 %.8s); next boot is warm\n", man.SHA256)
+		}
 	}
-	return iotssp.New(id, vulndb.NewDefault()), nil
+	return id, nil
 }
 
 // metricsMux serves the observability endpoints: Prometheus-text

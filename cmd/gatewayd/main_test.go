@@ -116,6 +116,51 @@ func TestGatewaydDegradedReplayQuarantines(t *testing.T) {
 	}
 }
 
+// TestGatewaydWarmBootFromStateDir is the ISSUE's acceptance scenario:
+// a first boot trains the bank, persists it, journals the replayed
+// devices, and checkpoints on exit; the second boot loads the model
+// from disk (no training) and recovers every device with its state —
+// no replay, no re-capture.
+func TestGatewaydWarmBootFromStateDir(t *testing.T) {
+	replayDir := writeReplayDir(t)
+	stateDir := t.TempDir()
+
+	var first bytes.Buffer
+	if err := run([]string{"-replay", replayDir, "-oneshot", "-captures", "10",
+		"-state-dir", stateDir}, &first); err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	s := first.String()
+	for _, want := range []string{
+		"training in-process IoT Security Service",
+		"persisted model bank",
+		"3 devices assessed",
+		"state: checkpointed, clean shutdown",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("first boot output missing %q:\n%s", want, s)
+		}
+	}
+
+	var second bytes.Buffer
+	if err := run([]string{"-oneshot", "-captures", "10",
+		"-state-dir", stateDir}, &second); err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	s = second.String()
+	if strings.Contains(s, "training in-process") {
+		t.Errorf("warm boot retrained instead of loading from disk:\n%s", s)
+	}
+	for _, want := range []string{
+		"loaded model bank from disk",
+		"recovered 3 devices (3 assessed",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("second boot output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestGatewaydBadReplayDir(t *testing.T) {
 	if err := run([]string{"-replay", "/nonexistent-dir-xyz", "-oneshot", "-captures", "4"}, &bytes.Buffer{}); err == nil {
 		t.Error("bad replay dir must fail")

@@ -24,6 +24,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"iotsentinel/internal/core"
@@ -119,7 +120,9 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "IoT Security Service listening on %s\n", ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is what init systems and container runtimes send; treat it
+	// like ^C so the server drains connections instead of dying mid-reply.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

@@ -93,6 +93,12 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: load %q: %w", t, err)
 		}
+		// The forest wire format cannot know the vector width; bound
+		// every split to the F′ dimensionality here so a tampered model
+		// cannot make the first classification panic.
+		if err := forest.ValidateFeatures(fingerprint.FPrimeLen); err != nil {
+			return nil, fmt.Errorf("core: load %q: %w", t, err)
+		}
 		m := &typeModel{forest: forest}
 		for i, rows := range td.Refs {
 			f, err := rowsToF(rows)

@@ -8,6 +8,7 @@ package gateway
 import (
 	"bytes"
 	"fmt"
+	"net/netip"
 	"sort"
 	"sync"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"iotsentinel/internal/iotssp"
 	"iotsentinel/internal/packet"
 	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/store"
 	"iotsentinel/internal/vulndb"
 	"iotsentinel/internal/wps"
 )
@@ -53,13 +55,17 @@ func (s DeviceState) String() string {
 
 // DeviceInfo is the gateway's view of one device.
 type DeviceInfo struct {
-	MAC             packet.MAC
-	State           DeviceState
-	Type            core.TypeID
-	Level           sdn.IsolationLevel
-	FirstSeen       time.Time
-	AssessedAt      time.Time
-	SetupPackets    int
+	MAC          packet.MAC
+	State        DeviceState
+	Type         core.TypeID
+	Level        sdn.IsolationLevel
+	FirstSeen    time.Time
+	AssessedAt   time.Time
+	SetupPackets int
+	// PermittedIPs are the remote endpoints a Restricted device may
+	// reach (mirrors its enforcement rule, so the rule table can be
+	// reconstructed from device state after a restart).
+	PermittedIPs    []netip.Addr
 	Vulnerabilities []vulndb.Record
 	// QuarantinedAt is set while the device awaits a successful
 	// re-assessment (zero otherwise).
@@ -121,6 +127,15 @@ type Config struct {
 	// capture, queue and packet-latency instrumentation (see
 	// NewMetrics).
 	Metrics *Metrics
+	// Store, if set, journals every device-lifecycle transition so a
+	// restarted gateway can Recover its device states, quarantine
+	// queue, and enforcement-rule table (see persist.go). nil keeps the
+	// gateway ephemeral.
+	Store *store.Store
+	// OnStoreError, if set, receives journaling failures. Persistence
+	// errors never interrupt the data path: the gateway keeps
+	// enforcing with its in-memory state and reports the error here.
+	OnStoreError func(error)
 }
 
 // quarantined is one parked fingerprint awaiting a retry.
@@ -216,6 +231,7 @@ func (g *Gateway) handlePacket(ts time.Time, pk *packet.Packet) (sdn.Action, err
 		s.captures[pk.SrcMAC] = fingerprint.NewSetupCapture(g.cfg.IdleGap, g.cfg.MaxSetupPackets)
 		g.cfg.Metrics.stateChange(0, StateMonitoring)
 		g.cfg.Metrics.captureOpened()
+		g.record(store.Event{Kind: store.EvCaptureStarted, MAC: pk.SrcMAC, At: ts, FirstSeen: ts})
 		if g.cfg.Keystore != nil {
 			// The device joined via WPS: issue its device-specific
 			// WPA2 PSK (Sect. III-A).
@@ -393,6 +409,17 @@ func (g *Gateway) quarantineDevice(mac packet.MAC, fp fingerprint.Fingerprint, n
 		info.QuarantinedAt = now
 	}
 	info.AssessAttempts++
+	// Journaled durably (fsync before the append returns): losing a
+	// demotion to a crash would bring the device back unrestricted.
+	g.record(store.Event{
+		Kind:         store.EvQuarantined,
+		MAC:          mac,
+		At:           now,
+		FirstSeen:    info.FirstSeen,
+		Attempts:     info.AssessAttempts,
+		SetupPackets: info.SetupPackets,
+		Fingerprint:  store.FRows(fp),
+	})
 	g.qmu.Lock()
 	if q, queued := g.quarantine[mac]; queued {
 		q.fp = fp
@@ -521,14 +548,30 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 		info = &DeviceInfo{MAC: mac, FirstSeen: now}
 		s.devices[mac] = info
 	}
+	kind := store.EvAssessed
+	if info.State == StateQuarantined {
+		kind = store.EvPromoted
+	}
 	g.cfg.Metrics.stateChange(info.State, StateAssessed)
 	info.State = StateAssessed
 	info.Type = a.Type
 	info.Level = a.Level
 	info.AssessedAt = now
 	info.Vulnerabilities = a.Vulnerabilities
+	info.PermittedIPs = append([]netip.Addr(nil), a.PermittedIPs...)
 	info.QuarantinedAt = time.Time{}
 	info.AssessAttempts = 0
+	g.record(store.Event{
+		Kind:         kind,
+		MAC:          mac,
+		At:           now,
+		FirstSeen:    info.FirstSeen,
+		Type:         string(a.Type),
+		Level:        int(a.Level),
+		PermittedIPs: a.PermittedIPs,
+		Vulns:        a.Vulnerabilities,
+		SetupPackets: info.SetupPackets,
+	})
 	g.qmu.Lock()
 	delete(g.quarantine, mac)
 	g.cfg.Metrics.incAssess(true)
@@ -563,6 +606,7 @@ func (g *Gateway) RemoveDevice(mac packet.MAC) {
 	s.mu.Lock()
 	if info := s.devices[mac]; info != nil {
 		g.cfg.Metrics.stateChange(info.State, 0)
+		g.record(store.Event{Kind: store.EvRemoved, MAC: mac, At: time.Now()})
 	}
 	delete(s.devices, mac)
 	delete(s.captures, mac)

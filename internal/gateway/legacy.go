@@ -2,11 +2,13 @@ package gateway
 
 import (
 	"fmt"
+	"net/netip"
 	"time"
 
 	"iotsentinel/internal/fingerprint"
 	"iotsentinel/internal/packet"
 	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/store"
 )
 
 // LegacyDevice describes a device that was already installed before the
@@ -98,8 +100,19 @@ func (g *Gateway) MigrateLegacy(devs []LegacyDevice, now time.Time) ([]LegacyOut
 			Level:           o.Level,
 			FirstSeen:       now,
 			AssessedAt:      now,
+			PermittedIPs:    append([]netip.Addr(nil), a.PermittedIPs...),
 			Vulnerabilities: a.Vulnerabilities,
 		}
+		g.record(store.Event{
+			Kind:         store.EvAssessed,
+			MAC:          d.MAC,
+			At:           now,
+			FirstSeen:    now,
+			Type:         string(a.Type),
+			Level:        int(o.Level),
+			PermittedIPs: a.PermittedIPs,
+			Vulns:        a.Vulnerabilities,
+		})
 		s.mu.Unlock()
 		out = append(out, o)
 	}

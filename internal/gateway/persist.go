@@ -1,0 +1,320 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/store"
+)
+
+// Durable state & crash recovery. With Config.Store set, every device
+// lifecycle transition is journaled as it happens (inside the owning
+// shard's critical section, so journal order matches state order;
+// lock order stays shard.mu → qmu → store). Recover rebuilds the
+// device map, the quarantine retry queue, *and* the SDN rule table
+// from the snapshot + journal, so enforcement after a crash matches
+// enforcement before it — or fails closed:
+//
+//   - A device that was mid-monitoring lost its setup capture with the
+//     process; it is demoted to strict quarantine rather than left in
+//     a monitoring state that would forward its traffic forever.
+//   - A degraded recovery (corrupt journal record or unreadable
+//     snapshot — see store.Recovery.Degraded) demotes every recovered
+//     device to strict quarantine: the lost suffix may have hidden a
+//     demotion, so nothing recovered keeps network access on trust.
+//     Parked fingerprints stay in the retry queue, so the retry worker
+//     re-promotes what the service still vouches for.
+
+// record journals one lifecycle event. Persistence failures never
+// interrupt the data path: the gateway keeps enforcing from memory and
+// reports the error to Config.OnStoreError (which is called with shard
+// locks held — it must not call back into the gateway).
+func (g *Gateway) record(ev store.Event) {
+	if g.cfg.Store == nil {
+		return
+	}
+	if _, err := g.cfg.Store.Append(ev); err != nil && g.cfg.OnStoreError != nil {
+		g.cfg.OnStoreError(err)
+	}
+}
+
+// RecoveryStats summarizes what Recover rebuilt.
+type RecoveryStats struct {
+	// Devices is the total number of devices restored.
+	Devices int
+	// Assessed / Quarantined split Devices by recovered state.
+	Assessed    int
+	Quarantined int
+	// Demoted counts fail-closed demotions: devices that were
+	// monitoring at the crash (their capture died with the process) and
+	// every formerly-assessed device of a degraded recovery.
+	Demoted int
+	// Retryable is the number of fingerprints restored into the
+	// quarantine retry queue.
+	Retryable int
+	// Replayed is the number of journal events applied on top of the
+	// snapshot.
+	Replayed int
+	// Rules is the number of enforcement rules reconciled into the
+	// switch.
+	Rules int
+	// Degraded mirrors store.Recovery.Degraded.
+	Degraded bool
+}
+
+func (s RecoveryStats) String() string {
+	mode := "clean"
+	if s.Degraded {
+		mode = "DEGRADED (fail-closed)"
+	}
+	return fmt.Sprintf("%d devices (%d assessed, %d quarantined, %d demoted fail-closed), %d retryable, %d events replayed, %d rules, %s",
+		s.Devices, s.Assessed, s.Quarantined, s.Demoted, s.Retryable, s.Replayed, s.Rules, mode)
+}
+
+// parseState maps a journaled state name back to its DeviceState.
+func parseState(s string) (DeviceState, error) {
+	switch s {
+	case StateMonitoring.String():
+		return StateMonitoring, nil
+	case StateAssessed.String():
+		return StateAssessed, nil
+	case StateQuarantined.String():
+		return StateQuarantined, nil
+	default:
+		return 0, fmt.Errorf("gateway: unknown device state %q", s)
+	}
+}
+
+// Recover rebuilds the gateway from what store.Open found on disk and
+// replays enforcement through the switch so the rule table matches
+// pre-crash isolation levels. It must run on a fresh gateway, before
+// any traffic. Individual malformed records are skipped (fail-closed:
+// a device whose record is unusable ends up with no rule, which the
+// controller treats as strict); Recover only errors on misuse.
+func (g *Gateway) Recover(rec *store.Recovery, now time.Time) (RecoveryStats, error) {
+	var stats RecoveryStats
+	if rec == nil {
+		return stats, nil
+	}
+	for _, s := range g.shards {
+		s.mu.Lock()
+		n := len(s.devices)
+		s.mu.Unlock()
+		if n > 0 {
+			return stats, fmt.Errorf("gateway: Recover on a non-empty gateway")
+		}
+	}
+	stats.Degraded = rec.Degraded
+
+	devices := make(map[packet.MAC]*DeviceInfo)
+	parked := make(map[packet.MAC]*quarantined)
+
+	if rec.Snapshot != nil {
+		for _, d := range rec.Snapshot.Devices {
+			st, err := parseState(d.State)
+			if err != nil {
+				continue // unusable record: device falls back to no-rule strict
+			}
+			devices[d.MAC] = &DeviceInfo{
+				MAC:             d.MAC,
+				State:           st,
+				Type:            core.TypeID(d.Type),
+				Level:           sdn.IsolationLevel(d.Level),
+				FirstSeen:       d.FirstSeen,
+				AssessedAt:      d.AssessedAt,
+				QuarantinedAt:   d.QuarantinedAt,
+				SetupPackets:    d.SetupPackets,
+				AssessAttempts:  d.AssessAttempts,
+				PermittedIPs:    d.PermittedIPs,
+				Vulnerabilities: d.Vulnerabilities,
+			}
+		}
+		for _, q := range rec.Snapshot.Quarantine {
+			fp, err := store.RowsFingerprint(q.Fingerprint)
+			if err != nil {
+				continue // device stays quarantined, just not retryable
+			}
+			parked[q.MAC] = &quarantined{fp: fp, since: q.Since}
+		}
+	}
+
+	for _, ev := range rec.Events {
+		stats.Replayed++
+		switch ev.Kind {
+		case store.EvCaptureStarted:
+			if _, known := devices[ev.MAC]; !known {
+				devices[ev.MAC] = &DeviceInfo{MAC: ev.MAC, State: StateMonitoring, FirstSeen: ev.FirstSeen}
+			}
+		case store.EvAssessed, store.EvPromoted:
+			info := devices[ev.MAC]
+			if info == nil {
+				info = &DeviceInfo{MAC: ev.MAC, FirstSeen: ev.FirstSeen}
+				devices[ev.MAC] = info
+			}
+			info.State = StateAssessed
+			info.Type = core.TypeID(ev.Type)
+			info.Level = sdn.IsolationLevel(ev.Level)
+			info.AssessedAt = ev.At
+			info.PermittedIPs = ev.PermittedIPs
+			info.Vulnerabilities = ev.Vulns
+			info.SetupPackets = ev.SetupPackets
+			info.QuarantinedAt = time.Time{}
+			info.AssessAttempts = 0
+			delete(parked, ev.MAC)
+		case store.EvQuarantined:
+			info := devices[ev.MAC]
+			if info == nil {
+				info = &DeviceInfo{MAC: ev.MAC, FirstSeen: ev.FirstSeen}
+				devices[ev.MAC] = info
+			}
+			info.State = StateQuarantined
+			info.Level = sdn.Strict
+			if info.QuarantinedAt.IsZero() {
+				info.QuarantinedAt = ev.At
+			}
+			info.AssessAttempts = ev.Attempts
+			info.SetupPackets = ev.SetupPackets
+			if fp, err := store.RowsFingerprint(ev.Fingerprint); err == nil {
+				parked[ev.MAC] = &quarantined{fp: fp, since: ev.At}
+			}
+		case store.EvRemoved:
+			delete(devices, ev.MAC)
+			delete(parked, ev.MAC)
+		}
+	}
+
+	// Fail-closed sweep. Monitoring devices lost their capture with the
+	// crashed process: left monitoring they would forward unenforced
+	// forever, so they demote to strict quarantine (not retryable — no
+	// fingerprint survives; the operator removes and re-inducts them).
+	// In a degraded recovery the journal suffix is untrustworthy, so
+	// every device demotes; the parked fingerprints stay retryable and
+	// the retry worker restores whatever the service still vouches for.
+	for _, info := range devices {
+		demote := info.State == StateMonitoring || (rec.Degraded && info.State == StateAssessed)
+		if !demote {
+			continue
+		}
+		stats.Demoted++
+		info.State = StateQuarantined
+		info.Level = sdn.Strict
+		if info.QuarantinedAt.IsZero() {
+			info.QuarantinedAt = now
+		}
+		info.PermittedIPs = nil
+	}
+
+	// Install: device states into their shards, retryable fingerprints
+	// into the quarantine queue, and enforcement into the switch.
+	macs := make([]packet.MAC, 0, len(devices))
+	for mac := range devices {
+		macs = append(macs, mac)
+	}
+	sort.Slice(macs, func(i, j int) bool { return bytes.Compare(macs[i][:], macs[j][:]) < 0 })
+	for _, mac := range macs {
+		info := devices[mac]
+		s := g.shardOf(mac)
+		s.mu.Lock()
+		s.devices[mac] = info
+		g.cfg.Metrics.stateChange(0, info.State)
+		s.mu.Unlock()
+		stats.Devices++
+		switch info.State {
+		case StateAssessed:
+			stats.Assessed++
+			g.sw.Controller().Rules().Put(&sdn.EnforcementRule{
+				DeviceMAC:    mac,
+				Level:        info.Level,
+				PermittedIPs: info.PermittedIPs,
+				DeviceType:   string(info.Type),
+			})
+		default:
+			stats.Quarantined++
+			g.sw.Controller().Quarantine(mac)
+		}
+		g.sw.InvalidateDevice(mac)
+		stats.Rules++
+	}
+
+	g.qmu.Lock()
+	for _, mac := range macs {
+		q := parked[mac]
+		if q == nil {
+			continue
+		}
+		if devices[mac] == nil || devices[mac].State != StateQuarantined {
+			continue
+		}
+		if len(g.quarantine) >= g.maxQuarantined() {
+			break
+		}
+		g.quarantine[mac] = q
+		stats.Retryable++
+	}
+	g.cfg.Metrics.setQuarantineDepth(len(g.quarantine))
+	g.qmu.Unlock()
+	return stats, nil
+}
+
+// Checkpoint snapshots the gateway's durable state and compacts the
+// journal. The snapshot sequence number is sampled before state
+// collection, so transitions racing the checkpoint stay in the journal
+// and replay idempotently on top of the snapshot.
+func (g *Gateway) Checkpoint() error {
+	st := g.cfg.Store
+	if st == nil {
+		return nil
+	}
+	snap := &store.Snapshot{Seq: st.Seq(), TakenAt: time.Now()}
+	for _, s := range g.shards {
+		s.mu.Lock()
+		for _, info := range s.devices {
+			snap.Devices = append(snap.Devices, store.DeviceRecord{
+				MAC:             info.MAC,
+				State:           info.State.String(),
+				Type:            string(info.Type),
+				Level:           int(info.Level),
+				PermittedIPs:    info.PermittedIPs,
+				Vulnerabilities: info.Vulnerabilities,
+				FirstSeen:       info.FirstSeen,
+				AssessedAt:      info.AssessedAt,
+				QuarantinedAt:   info.QuarantinedAt,
+				SetupPackets:    info.SetupPackets,
+				AssessAttempts:  info.AssessAttempts,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(snap.Devices, func(i, j int) bool {
+		return bytes.Compare(snap.Devices[i].MAC[:], snap.Devices[j].MAC[:]) < 0
+	})
+	g.qmu.Lock()
+	for mac, q := range g.quarantine {
+		snap.Quarantine = append(snap.Quarantine, store.QuarantineRecord{
+			MAC:         mac,
+			Since:       q.since,
+			Fingerprint: store.FRows(q.fp),
+		})
+	}
+	g.qmu.Unlock()
+	sort.Slice(snap.Quarantine, func(i, j int) bool {
+		return bytes.Compare(snap.Quarantine[i].MAC[:], snap.Quarantine[j].MAC[:]) < 0
+	})
+	return st.Checkpoint(snap)
+}
+
+// Shutdown is the graceful stop: the caller has already stopped
+// feeding packets; Shutdown drains the asynchronous assessment
+// pipeline (pending fingerprints finish identifying instead of being
+// dumped into quarantine), closes it, and checkpoints the final state
+// so the next boot recovers it without journal replay.
+func (g *Gateway) Shutdown() error {
+	g.WaitAssessIdle()
+	g.Close()
+	return g.Checkpoint()
+}

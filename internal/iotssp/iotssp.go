@@ -9,6 +9,7 @@
 package iotssp
 
 import (
+	"errors"
 	"net/netip"
 	"sort"
 	"sync"
@@ -87,6 +88,21 @@ func (s *Service) AddType(t core.TypeID, fps []fingerprint.Fingerprint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.id.AddType(t, fps)
+}
+
+// ReplaceIdentifier atomically swaps in a new classifier bank — the
+// hot-reload path after the model store revalidates a model from disk.
+// The replacement must be non-nil and hold at least one trained type;
+// a rejected swap leaves the current bank untouched. In-flight
+// assessments finish against the bank they started with.
+func (s *Service) ReplaceIdentifier(id *core.Identifier) error {
+	if id == nil || id.NumTypes() == 0 {
+		return errors.New("iotssp: replacement identifier has no trained types")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.id = id
+	return nil
 }
 
 // Types returns the known device-types.

@@ -95,14 +95,18 @@ func flattenTree(t *Tree) wireTree {
 	return wireTree{Nodes: nodes}
 }
 
-// rebuildTree reconstructs node pointers from the flat array,
-// validating indices and leaf shapes.
+// rebuildTree reconstructs node pointers from the flat array. The
+// input is untrusted (a model file from disk), so every structural
+// property Predict relies on is checked: child indices in bounds and
+// strictly forward (no self references, no cycles), every node with
+// exactly one parent (no DAG sharing) and reachable from the root (no
+// orphans), and leaf counts non-negative with a consistent total.
 func rebuildTree(nodes []wireNode, nClasses int) (*treeNode, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("empty node array")
 	}
 	built := make([]*treeNode, len(nodes))
-	// Two passes: allocate, then link with cycle/range checking.
+	// Two passes: allocate and check shapes, then link.
 	for i, wn := range nodes {
 		built[i] = &treeNode{
 			feature:   wn.Feature,
@@ -114,19 +118,70 @@ func rebuildTree(nodes []wireNode, nClasses int) (*treeNode, error) {
 			if len(wn.Counts) != nClasses {
 				return nil, fmt.Errorf("node %d: leaf has %d class counts, want %d", i, len(wn.Counts), nClasses)
 			}
+			sum := 0
+			for c, n := range wn.Counts {
+				if n < 0 {
+					return nil, fmt.Errorf("node %d: negative count %d for class %d", i, n, c)
+				}
+				sum += n
+			}
+			if wn.Total != sum {
+				return nil, fmt.Errorf("node %d: total %d, class counts sum to %d", i, wn.Total, sum)
+			}
 		}
 	}
+	parents := make([]int, len(nodes))
 	for i, wn := range nodes {
 		if wn.Feature < 0 {
 			continue
 		}
-		// Preorder layout guarantees children come after parents; this
-		// also rules out cycles.
-		if wn.Left <= i || wn.Left >= len(nodes) || wn.Right <= i || wn.Right >= len(nodes) {
-			return nil, fmt.Errorf("node %d: child index out of order (%d, %d)", i, wn.Left, wn.Right)
+		// Preorder layout: children strictly after their parent. This
+		// rules out self references, backward references, and cycles.
+		if wn.Left <= i || wn.Left >= len(nodes) || wn.Right <= i || wn.Right >= len(nodes) || wn.Left == wn.Right {
+			return nil, fmt.Errorf("node %d: invalid child indices (%d, %d)", i, wn.Left, wn.Right)
 		}
+		parents[wn.Left]++
+		parents[wn.Right]++
 		built[i].left = built[wn.Left]
 		built[i].right = built[wn.Right]
 	}
+	// A well-formed tree references every node except the root exactly
+	// once: a second parent would alias subtrees, an unreferenced node
+	// would be dead weight smuggled past validation.
+	if parents[0] != 0 {
+		return nil, fmt.Errorf("root referenced as a child")
+	}
+	for i := 1; i < len(nodes); i++ {
+		if parents[i] != 1 {
+			return nil, fmt.Errorf("node %d has %d parents, want 1", i, parents[i])
+		}
+	}
 	return built[0], nil
+}
+
+// ValidateFeatures checks that every split in the forest tests a
+// feature index in [0, n): a loaded model whose splits reference
+// features wider than the caller's vectors would make Predict panic on
+// the first classification. Callers that know their feature width must
+// invoke this after Load.
+func (f *Forest) ValidateFeatures(n int) error {
+	for ti, t := range f.trees {
+		if err := validateNodeFeatures(t.root, n); err != nil {
+			return fmt.Errorf("rf: tree %d: %w", ti, err)
+		}
+	}
+	return nil
+}
+
+func validateNodeFeatures(nd *treeNode, n int) error {
+	if nd.isLeaf() {
+		return nil
+	}
+	if nd.feature >= n {
+		return fmt.Errorf("split on feature %d, vectors have %d", nd.feature, n)
+	}
+	if err := validateNodeFeatures(nd.left, n); err != nil {
+		return err
+	}
+	return validateNodeFeatures(nd.right, n)
 }

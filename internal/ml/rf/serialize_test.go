@@ -45,6 +45,14 @@ func TestForestLoadErrors(t *testing.T) {
 		{"bad-leaf-counts", `{"version":1,"nClasses":2,"trees":[{"nodes":[{"f":-1,"c":[1],"n":1,"l":-1,"r":-1}]}]}`},
 		{"child-before-parent", `{"version":1,"nClasses":2,"trees":[{"nodes":[{"f":0,"t":1,"l":0,"r":0}]}]}`},
 		{"child-out-of-range", `{"version":1,"nClasses":2,"trees":[{"nodes":[{"f":0,"t":1,"l":5,"r":6}]}]}`},
+		{"negative-count", `{"version":1,"nClasses":2,"trees":[{"nodes":[{"f":-1,"c":[-1,3],"n":2,"l":-1,"r":-1}]}]}`},
+		{"total-mismatch", `{"version":1,"nClasses":2,"trees":[{"nodes":[{"f":-1,"c":[1,1],"n":5,"l":-1,"r":-1}]}]}`},
+		{"same-child-twice", `{"version":1,"nClasses":2,"trees":[{"nodes":[` +
+			`{"f":0,"t":1,"l":1,"r":1},{"f":-1,"c":[1,1],"n":2,"l":-1,"r":-1}]}]}`},
+		{"shared-child-dag", `{"version":1,"nClasses":2,"trees":[{"nodes":[` +
+			`{"f":0,"t":1,"l":1,"r":2},{"f":0,"t":2,"l":2,"r":3},{"f":-1,"c":[1,1],"n":2,"l":-1,"r":-1},{"f":-1,"c":[2,0],"n":2,"l":-1,"r":-1}]}]}`},
+		{"orphan-node", `{"version":1,"nClasses":2,"trees":[{"nodes":[` +
+			`{"f":-1,"c":[1,1],"n":2,"l":-1,"r":-1},{"f":-1,"c":[3,0],"n":3,"l":-1,"r":-1}]}]}`},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -52,5 +60,24 @@ func TestForestLoadErrors(t *testing.T) {
 				t.Error("want error")
 			}
 		})
+	}
+}
+
+// TestValidateFeatures pins the remaining hole Load alone cannot
+// close: the wire format does not record the feature-vector width, so
+// a split on an out-of-width feature loads fine but would panic on the
+// first Predict. ValidateFeatures bounds it.
+func TestValidateFeatures(t *testing.T) {
+	const give = `{"version":1,"nClasses":2,"trees":[{"nodes":[` +
+		`{"f":7,"t":1,"l":1,"r":2},{"f":-1,"c":[1,0],"n":1,"l":-1,"r":-1},{"f":-1,"c":[0,1],"n":1,"l":-1,"r":-1}]}]}`
+	f, err := Load(strings.NewReader(give))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := f.ValidateFeatures(8); err != nil {
+		t.Errorf("feature 7 must be valid for width 8: %v", err)
+	}
+	if err := f.ValidateFeatures(7); err == nil {
+		t.Error("feature 7 must be rejected for width 7")
 	}
 }

@@ -142,11 +142,13 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // interpolation inside the containing bucket, the same way Prometheus's
 // histogram_quantile does. Samples in the open-ended +Inf bucket are
 // reported as the highest finite bound: the estimate saturates rather
-// than inventing a value. Returns 0 on an empty histogram.
+// than inventing a value. An empty histogram (or NaN q) has no
+// quantiles and returns NaN — a fake 0 would read as a perfect p99 on
+// a path that never ran.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 || math.IsNaN(q) {
-		return 0
+		return math.NaN()
 	}
 	q = math.Min(math.Max(q, 0), 1)
 	rank := q * float64(total)

@@ -249,8 +249,12 @@ func TestConcurrentHammer(t *testing.T) {
 func TestHistogramQuantile(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("q_seconds", "h", []float64{1, 2, 4, 8})
-	if got := h.Quantile(0.99); got != 0 {
-		t.Errorf("empty histogram quantile = %v, want 0", got)
+	// An empty histogram has no quantiles: NaN, not a fake perfect 0.
+	if got := h.Quantile(0.99); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %v, want NaN", got)
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NaN quantile = %v, want NaN", got)
 	}
 	// 100 samples uniform in (0,1]: every one lands in the le=1 bucket,
 	// so any quantile interpolates inside [0,1].

@@ -180,6 +180,34 @@ func (c *RuleCache) Rules() []*EnforcementRule {
 	return out
 }
 
+// Digest returns an order-independent FNV-1a digest of the full rule
+// table — MACs, levels, permitted IPs, and device types. Two caches
+// with the same digest enforce identically; the crash-recovery tests
+// use it to prove a recovered gateway reconciled the exact pre-crash
+// enforcement state.
+func (c *RuleCache) Digest() uint64 {
+	rules := c.Rules() // sorted by MAC
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	for _, r := range rules {
+		_, _ = h.Write(r.DeviceMAC[:])
+		u64(uint64(r.Level))
+		u64(uint64(len(r.PermittedIPs)))
+		for _, ip := range r.PermittedIPs {
+			b, _ := ip.MarshalBinary()
+			_, _ = h.Write(b)
+		}
+		_, _ = h.Write([]byte(r.DeviceType))
+	}
+	return h.Sum64()
+}
+
 func macHash(mac packet.MAC) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write(mac[:])

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"iotsentinel/internal/features"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/vulndb"
+)
+
+// EventKind names one device-lifecycle transition.
+type EventKind string
+
+// Journal event kinds, mirroring the gateway lifecycle of Sect. III-A.
+const (
+	// EvCaptureStarted: a new MAC entered the monitoring state.
+	EvCaptureStarted EventKind = "capture_started"
+	// EvAssessed: the IoTSSP returned an assessment and an enforcement
+	// rule was installed.
+	EvAssessed EventKind = "assessed"
+	// EvQuarantined: the assessment failed; the device is isolated
+	// fail-closed at strict and parked for retry. Durable (fsynced).
+	EvQuarantined EventKind = "quarantined"
+	// EvPromoted: a quarantined device's retry succeeded; same payload
+	// as EvAssessed.
+	EvPromoted EventKind = "promoted"
+	// EvRemoved: the device left the network and its rule was evicted.
+	// Durable (fsynced).
+	EvRemoved EventKind = "removed"
+)
+
+// Event is one journal record. Fields beyond Seq/Kind/MAC/At are
+// populated per kind; absolute values (not deltas) so replay is
+// idempotent.
+type Event struct {
+	Seq  uint64     `json:"seq"`
+	Kind EventKind  `json:"kind"`
+	MAC  packet.MAC `json:"mac"`
+	// At is the gateway-time of the transition.
+	At time.Time `json:"at"`
+
+	// FirstSeen carries the device's first-packet time (capture,
+	// assessed, quarantined).
+	FirstSeen time.Time `json:"firstSeen"`
+
+	// Assessment fields (EvAssessed, EvPromoted).
+	Type         string          `json:"type,omitempty"`
+	Level        int             `json:"level,omitempty"`
+	PermittedIPs []netip.Addr    `json:"permittedIPs,omitempty"`
+	Vulns        []vulndb.Record `json:"vulns,omitempty"`
+	SetupPackets int             `json:"setupPackets,omitempty"`
+
+	// Quarantine fields (EvQuarantined).
+	Attempts int `json:"attempts,omitempty"`
+	// Fingerprint is the parked fingerprint's F matrix; F′ is
+	// re-derived on recovery.
+	Fingerprint [][]float64 `json:"fingerprint,omitempty"`
+}
+
+// durable reports whether the event must be fsynced before Append
+// returns. Security demotions are: losing one to a crash would let a
+// device the gateway decided to isolate come back unrestricted.
+// Promotions batch — losing one recovers the device at something
+// stricter, which is safe.
+func (e *Event) durable() bool {
+	return e.Kind == EvQuarantined || e.Kind == EvRemoved
+}
+
+// FRows flattens a fingerprint's F matrix for journaling.
+func FRows(fp fingerprint.Fingerprint) [][]float64 {
+	rows := make([][]float64, len(fp.F))
+	for i, v := range fp.F {
+		rows[i] = append([]float64(nil), v[:]...)
+	}
+	return rows
+}
+
+// RowsFingerprint rebuilds a Fingerprint from journaled F rows,
+// re-deriving F′ deterministically.
+func RowsFingerprint(rows [][]float64) (fingerprint.Fingerprint, error) {
+	vs := make([]features.Vector, len(rows))
+	for i, row := range rows {
+		if len(row) != features.Count {
+			return fingerprint.Fingerprint{}, fmt.Errorf("store: fingerprint row %d has %d features, want %d",
+				i, len(row), features.Count)
+		}
+		copy(vs[i][:], row)
+	}
+	return fingerprint.FromVectors(vs), nil
+}

@@ -1,0 +1,315 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Journal wire format: a sequence of length-prefixed, CRC32C-framed
+// records. Each frame is
+//
+//	uint32 LE  payload length
+//	uint32 LE  CRC32C(payload)
+//	uint32 LE  CRC32C(first 8 header bytes)
+//	payload    JSON-encoded Event
+//
+// The header carries its own CRC so a flipped bit in the length field
+// is detected as corruption instead of silently re-framing the rest of
+// the file. Recovery distinguishes two kinds of damage:
+//
+//   - Torn tail: the final frame is incomplete (fewer than 12 header
+//     bytes remain, or the declared payload extends past EOF). This is
+//     the normal residue of a crash mid-append — the tail is truncated
+//     with a warning and recovery stays clean.
+//   - Corruption: a CRC or decode failure on a frame whose bytes are
+//     all present. Frame boundaries after this point cannot be
+//     trusted, so the scan stops, the tail is truncated, and recovery
+//     is flagged degraded — the caller must fail closed for the state
+//     it rebuilds, because the lost suffix may have hidden a demotion.
+
+var crc32c = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	frameHeaderLen = 12
+	// maxFrameLen bounds one record; anything larger in a header is
+	// corruption even if its CRC matches (defense in depth — it cannot
+	// happen through Append).
+	maxFrameLen = 16 << 20
+)
+
+// journal is the append half of the wire format. Callers synchronize.
+type journal struct {
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	seq     uint64
+	pending int // appends since the last fsync
+}
+
+// scanResult is what a journal scan found.
+type scanResult struct {
+	events    []Event
+	goodSize  int64 // offset of the first undecodable byte
+	tornBytes int64
+	corrupt   bool
+	warnings  []string
+}
+
+// openJournal opens (creating if needed) the journal, scans every
+// decodable record, truncates any damaged tail, and leaves the file
+// positioned for appends.
+func openJournal(path string) (*journal, scanResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, scanResult{}, fmt.Errorf("store: open journal: %w", err)
+	}
+	scan, err := scanJournal(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, scanResult{}, err
+	}
+	if scan.tornBytes > 0 {
+		if err := f.Truncate(scan.goodSize); err != nil {
+			_ = f.Close()
+			return nil, scanResult{}, fmt.Errorf("store: truncate journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(scan.goodSize, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, scanResult{}, fmt.Errorf("store: seek journal: %w", err)
+	}
+	j := &journal{path: path, f: f, w: bufio.NewWriter(f)}
+	for _, ev := range scan.events {
+		if ev.Seq > j.seq {
+			j.seq = ev.Seq
+		}
+	}
+	return j, scan, nil
+}
+
+// scanJournal decodes records from the start of f until EOF or damage.
+func scanJournal(f *os.File) (scanResult, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return scanResult{}, fmt.Errorf("store: stat journal: %w", err)
+	}
+	size := st.Size()
+	r := bufio.NewReader(io.NewSectionReader(f, 0, size))
+
+	var res scanResult
+	var off int64
+	hdr := make([]byte, frameHeaderLen)
+	for off < size {
+		remain := size - off
+		if remain < frameHeaderLen {
+			res.warnings = append(res.warnings,
+				fmt.Sprintf("torn tail: %d-byte partial frame header at offset %d, truncated", remain, off))
+			break
+		}
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return scanResult{}, fmt.Errorf("store: read journal: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		payloadCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		hdrCRC := binary.LittleEndian.Uint32(hdr[8:12])
+		if crc32.Checksum(hdr[:8], crc32c) != hdrCRC {
+			res.corrupt = true
+			res.warnings = append(res.warnings,
+				fmt.Sprintf("corrupt frame header at offset %d, journal suffix dropped (fail-closed recovery)", off))
+			break
+		}
+		if length > maxFrameLen {
+			res.corrupt = true
+			res.warnings = append(res.warnings,
+				fmt.Sprintf("implausible %d-byte frame at offset %d, journal suffix dropped (fail-closed recovery)", length, off))
+			break
+		}
+		if remain-frameHeaderLen < int64(length) {
+			res.warnings = append(res.warnings,
+				fmt.Sprintf("torn tail: frame at offset %d declares %d payload bytes, %d present, truncated",
+					off, length, remain-frameHeaderLen))
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return scanResult{}, fmt.Errorf("store: read journal: %w", err)
+		}
+		if crc32.Checksum(payload, crc32c) != payloadCRC {
+			res.corrupt = true
+			res.warnings = append(res.warnings,
+				fmt.Sprintf("corrupt record payload at offset %d, journal suffix dropped (fail-closed recovery)", off))
+			break
+		}
+		var ev Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			res.corrupt = true
+			res.warnings = append(res.warnings,
+				fmt.Sprintf("undecodable record at offset %d (%v), journal suffix dropped (fail-closed recovery)", off, err))
+			break
+		}
+		res.events = append(res.events, ev)
+		off += frameHeaderLen + int64(length)
+	}
+	res.goodSize = off
+	res.tornBytes = size - off
+	return res, nil
+}
+
+// frame wraps a payload in the journal wire format.
+func frame(payload []byte) []byte {
+	out := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crc32c))
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(out[:8], crc32c))
+	copy(out[frameHeaderLen:], payload)
+	return out
+}
+
+// unframe verifies and strips one complete frame occupying data
+// exactly (the snapshot file is a single frame).
+func unframe(data []byte) ([]byte, error) {
+	if len(data) < frameHeaderLen {
+		return nil, fmt.Errorf("truncated frame header (%d bytes)", len(data))
+	}
+	length := binary.LittleEndian.Uint32(data[0:4])
+	payloadCRC := binary.LittleEndian.Uint32(data[4:8])
+	hdrCRC := binary.LittleEndian.Uint32(data[8:12])
+	if crc32.Checksum(data[:8], crc32c) != hdrCRC {
+		return nil, fmt.Errorf("corrupt frame header")
+	}
+	if int64(length) != int64(len(data)-frameHeaderLen) {
+		return nil, fmt.Errorf("frame declares %d payload bytes, %d present", length, len(data)-frameHeaderLen)
+	}
+	payload := data[frameHeaderLen:]
+	if crc32.Checksum(payload, crc32c) != payloadCRC {
+		return nil, fmt.Errorf("corrupt frame payload")
+	}
+	return payload, nil
+}
+
+// append frames and writes one payload; the caller has already
+// assigned the sequence number inside it. Durable appends and every
+// syncEvery-th routine append flush and fsync.
+func (j *journal) append(payload []byte, durable bool, syncEvery int) error {
+	if _, err := j.w.Write(frame(payload)); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	j.seq++
+	j.pending++
+	if durable || j.pending >= syncEvery {
+		return j.sync()
+	}
+	return nil
+}
+
+// sync flushes buffered frames and fsyncs the file.
+func (j *journal) sync() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush journal: %w", err)
+	}
+	if j.pending == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync journal: %w", err)
+	}
+	j.pending = 0
+	return nil
+}
+
+// compact rewrites the journal keeping only records with Seq >
+// keepAfter (those a just-written snapshot does not cover), via the
+// same temp → fsync → rename dance as snapshots so a crash mid-compact
+// leaves the full journal in place. The sequence counter is preserved.
+func (j *journal) compact(keepAfter uint64) error {
+	if err := j.sync(); err != nil {
+		return err
+	}
+	scan, err := scanJournal(j.f)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".journal-*")
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	w := bufio.NewWriter(tmp)
+	for _, ev := range scan.events {
+		if ev.Seq <= keepAfter {
+			continue
+		}
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		if _, err := w.Write(frame(payload)); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, j.path); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		return err
+	}
+	// Reopen the renamed file for appends; the old descriptor points at
+	// the unlinked inode.
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: reopen: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	_ = j.f.Close()
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.pending = 0
+	return nil
+}
+
+// close fsyncs and closes the journal file.
+func (j *journal) close() error {
+	if err := j.sync(); err != nil {
+		_ = j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"iotsentinel/internal/core"
+)
+
+// ModelStore persists the trained classifier bank (the per-type
+// rf.Forest ensembles behind a core.Identifier) so a gateway or
+// service restart loads it from disk in milliseconds instead of
+// retraining, and supports hot reload with validation-before-swap: a
+// model file that fails its checksum or structural validation is
+// rejected and the running bank stays untouched.
+//
+// Layout inside the state directory:
+//
+//	models/model.json      core.Identifier wire format (embeds rf)
+//	models/manifest.json   ModelManifest with the model's SHA-256
+//
+// Both are written temp → fsync → rename; the manifest last, so a
+// crash mid-save leaves a manifest that still describes the previous
+// model (or a dangling new model file the next save overwrites).
+type ModelStore struct {
+	dir string
+	m   *Metrics
+}
+
+const (
+	modelName    = "model.json"
+	manifestName = "manifest.json"
+
+	manifestVersion = 1
+)
+
+// ModelManifest describes the persisted model for validation before
+// load and for operator display.
+type ModelManifest struct {
+	Version int       `json:"version"`
+	SHA256  string    `json:"sha256"`
+	Size    int64     `json:"size"`
+	SavedAt time.Time `json:"savedAt"`
+	// Types is the device-type count, cross-checked after load.
+	Types int `json:"types"`
+}
+
+// NewModelStore opens a model store rooted at dir (created if needed).
+// Stores obtained via Store.Models share the state directory instead.
+func NewModelStore(dir string) (*ModelStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: models: %w", err)
+	}
+	return &ModelStore{dir: dir}, nil
+}
+
+// Exists reports whether a saved model (with manifest) is present.
+func (ms *ModelStore) Exists() bool {
+	if _, err := os.Stat(filepath.Join(ms.dir, manifestName)); err != nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(ms.dir, modelName))
+	return err == nil
+}
+
+// Save persists the identifier and its manifest atomically.
+func (ms *ModelStore) Save(id *core.Identifier) (ModelManifest, error) {
+	tmp, err := os.CreateTemp(ms.dir, ".model-*")
+	if err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save model: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	h := sha256.New()
+	w := bufio.NewWriter(io.MultiWriter(tmp, h))
+	if err := id.Save(w); err != nil {
+		return ModelManifest{}, err
+	}
+	if err := w.Flush(); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save model: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save model: %w", err)
+	}
+	st, err := tmp.Stat()
+	if err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save model: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, filepath.Join(ms.dir, modelName)); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save model: %w", err)
+	}
+
+	man := ModelManifest{
+		Version: manifestVersion,
+		SHA256:  hex.EncodeToString(h.Sum(nil)),
+		Size:    st.Size(),
+		SavedAt: time.Now(),
+		Types:   id.NumTypes(),
+	}
+	payload, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save manifest: %w", err)
+	}
+	mtmp, err := os.CreateTemp(ms.dir, ".manifest-*")
+	if err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save manifest: %w", err)
+	}
+	defer func() {
+		if mtmp != nil {
+			_ = mtmp.Close()
+			_ = os.Remove(mtmp.Name())
+		}
+	}()
+	if _, err := mtmp.Write(append(payload, '\n')); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save manifest: %w", err)
+	}
+	if err := mtmp.Sync(); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save manifest: %w", err)
+	}
+	if err := mtmp.Close(); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save manifest: %w", err)
+	}
+	mname := mtmp.Name()
+	mtmp = nil
+	if err := os.Rename(mname, filepath.Join(ms.dir, manifestName)); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: save manifest: %w", err)
+	}
+	if err := syncDir(ms.dir); err != nil {
+		return ModelManifest{}, err
+	}
+	ms.m.modelSaved()
+	return man, nil
+}
+
+// Load reads, verifies, and rebuilds the persisted identifier: the
+// model file must hash to the manifest's SHA-256, decode through
+// core.LoadIdentifier's structural validation (which bounds-checks
+// every forest node), and carry the manifest's type count. Any failure
+// returns an error and nothing else — callers hot-reloading a bank
+// swap only on success, so a bad file can never replace a good bank.
+func (ms *ModelStore) Load() (*core.Identifier, ModelManifest, error) {
+	var man ModelManifest
+	data, err := os.ReadFile(filepath.Join(ms.dir, manifestName))
+	if err != nil {
+		return nil, ModelManifest{}, fmt.Errorf("store: load model: %w", err)
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, ModelManifest{}, fmt.Errorf("store: load manifest: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, ModelManifest{}, fmt.Errorf("store: load manifest: unsupported version %d", man.Version)
+	}
+	model, err := os.ReadFile(filepath.Join(ms.dir, modelName))
+	if err != nil {
+		return nil, ModelManifest{}, fmt.Errorf("store: load model: %w", err)
+	}
+	sum := sha256.Sum256(model)
+	if got := hex.EncodeToString(sum[:]); got != man.SHA256 {
+		return nil, ModelManifest{}, fmt.Errorf("store: load model: checksum mismatch (manifest %s, file %s)",
+			shortHash(man.SHA256), shortHash(got))
+	}
+	id, err := core.LoadIdentifier(bytes.NewReader(model))
+	if err != nil {
+		return nil, ModelManifest{}, err
+	}
+	if id.NumTypes() != man.Types {
+		return nil, ModelManifest{}, fmt.Errorf("store: load model: %d device-types, manifest says %d",
+			id.NumTypes(), man.Types)
+	}
+	ms.m.modelLoaded("disk")
+	return id, man, nil
+}
+
+// LoadedFromTraining counts a cold bring-up: the caller trained the
+// bank from scratch instead of loading it from disk. Comparing the
+// "train" and "disk" sources of store_model_loads_total shows whether
+// warm boots actually skip retraining.
+func (ms *ModelStore) LoadedFromTraining() { ms.m.modelLoaded("train") }
+
+// Manifest reads the manifest without loading the model.
+func (ms *ModelStore) Manifest() (ModelManifest, error) {
+	var man ModelManifest
+	data, err := os.ReadFile(filepath.Join(ms.dir, manifestName))
+	if err != nil {
+		return ModelManifest{}, err
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return ModelManifest{}, fmt.Errorf("store: load manifest: %w", err)
+	}
+	return man, nil
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/vulndb"
+)
+
+const snapshotVersion = 1
+
+// DeviceRecord is one device's durable state inside a snapshot.
+type DeviceRecord struct {
+	MAC   packet.MAC `json:"mac"`
+	State string     `json:"state"` // monitoring | assessed | quarantined
+	Type  string     `json:"type,omitempty"`
+	Level int        `json:"level,omitempty"`
+
+	PermittedIPs    []netip.Addr    `json:"permittedIPs,omitempty"`
+	Vulnerabilities []vulndb.Record `json:"vulns,omitempty"`
+
+	FirstSeen     time.Time `json:"firstSeen"`
+	AssessedAt    time.Time `json:"assessedAt"`
+	QuarantinedAt time.Time `json:"quarantinedAt"`
+
+	SetupPackets   int `json:"setupPackets,omitempty"`
+	AssessAttempts int `json:"assessAttempts,omitempty"`
+}
+
+// QuarantineRecord is one parked fingerprint awaiting retry.
+type QuarantineRecord struct {
+	MAC         packet.MAC  `json:"mac"`
+	Since       time.Time   `json:"since"`
+	Fingerprint [][]float64 `json:"fingerprint"`
+}
+
+// Snapshot is a point-in-time capture of the gateway's durable state.
+// It covers every journal record with Seq ≤ Seq; Checkpoint compacts
+// those away.
+type Snapshot struct {
+	Version int       `json:"version"`
+	Seq     uint64    `json:"seq"`
+	TakenAt time.Time `json:"takenAt"`
+
+	Devices    []DeviceRecord     `json:"devices"`
+	Quarantine []QuarantineRecord `json:"quarantine"`
+}
+
+// writeSnapshot persists snap atomically: a CRC-framed temp file in the
+// same directory, fsync, rename over the previous snapshot, directory
+// fsync. A crash at any point leaves either the old or the new
+// snapshot, never a torn one.
+func writeSnapshot(path string, snap *Snapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(frame(payload)); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads and verifies a snapshot. os.IsNotExist(err) marks
+// a cold start; any other error means the file exists but cannot be
+// trusted (CRC mismatch, truncation, version skew).
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := unframe(data)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", filepath.Base(path), err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", filepath.Base(path), err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("snapshot %s: unsupported version %d", filepath.Base(path), snap.Version)
+	}
+	return &snap, nil
+}

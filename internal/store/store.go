@@ -1,0 +1,230 @@
+// Package store is the durability layer of the Security Gateway: a
+// CRC32C-framed append-only journal of device-lifecycle events, atomic
+// state snapshots that compact the journal, and a versioned model store
+// for the trained classifier bank. Together they make `gatewayd`
+// restart-safe — a crash or redeploy no longer forgets identified
+// devices, their isolation levels, or the quarantine queue, and a warm
+// boot loads the model bank from disk instead of retraining.
+//
+// Durability contract, in order of importance:
+//
+//   - Recovery never fails the boot. A torn tail record (the normal
+//     shape of a crash mid-append) is truncated with a warning. A
+//     corrupt record anywhere else flips recovery into degraded mode:
+//     the surviving prefix is still replayed, and the caller is told to
+//     fail closed for everything it recovered (the gateway demotes all
+//     recovered devices to strict quarantine rather than trust a
+//     journal whose suffix may have hidden a demotion).
+//   - Security demotions (quarantine, removal) are fsynced before the
+//     append returns; routine events batch their fsyncs (Options.
+//     SyncEvery), so a crash can lose recent promotions — which recover
+//     as something stricter — but never a durable demotion.
+//   - Snapshots and model files are written temp → fsync → rename, so
+//     a crash mid-checkpoint leaves the previous snapshot intact.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Default tuning knobs.
+const (
+	// DefaultSyncEvery is the number of routine appends batched between
+	// fsyncs when Options.SyncEvery is 0.
+	DefaultSyncEvery = 64
+
+	journalName  = "journal.wal"
+	snapshotName = "snapshot.bin"
+	modelsDir    = "models"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// SyncEvery batches fsyncs for routine (non-durable) appends: the
+	// journal file is fsynced after this many appends, on any durable
+	// append, and on Close/Checkpoint. 0 selects DefaultSyncEvery; 1
+	// fsyncs every append.
+	SyncEvery int
+	// Metrics, if set, receives journal/snapshot/recovery
+	// instrumentation.
+	Metrics *Metrics
+	// Logf, if set, receives recovery warnings (torn tails, corrupt
+	// records, unreadable snapshots). nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Recovery is what Open found on disk: the latest snapshot (nil when
+// none), the journal events recorded after it, and the damage report.
+type Recovery struct {
+	// Snapshot is the most recent durable snapshot, nil if none exists
+	// or it was unreadable.
+	Snapshot *Snapshot
+	// Events are the journal records with Seq greater than the
+	// snapshot's, in append order, up to the first damage.
+	Events []Event
+	// Degraded reports that recovered state cannot be fully trusted: a
+	// record failed its CRC away from the torn-tail position, or the
+	// snapshot existed but was unreadable. Callers must fail closed for
+	// everything they rebuild from this recovery.
+	Degraded bool
+	// TornBytes is the size of the truncated torn tail (0 for a clean
+	// journal).
+	TornBytes int64
+	// Warnings narrates the damage for the operator.
+	Warnings []string
+}
+
+// Store ties the journal, snapshots, and the model store to one state
+// directory.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu sync.Mutex // serializes Append/Checkpoint/Close
+	j  *journal
+}
+
+// Open prepares the state directory and replays whatever it holds:
+// the newest snapshot plus the journal suffix, tolerating a torn or
+// corrupt tail (truncate-and-warn — recovery never fails the boot on
+// damaged records). The returned Recovery is the caller's rebuild
+// input; the store is ready for appends.
+func Open(dir string, opts Options) (*Store, *Recovery, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if err := os.MkdirAll(filepath.Join(dir, modelsDir), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+	rec := &Recovery{}
+
+	snap, err := loadSnapshot(filepath.Join(dir, snapshotName))
+	switch {
+	case err == nil:
+		rec.Snapshot = snap
+	case os.IsNotExist(err):
+		// Cold start.
+	default:
+		// The snapshot exists but cannot be trusted. Journal events
+		// still replay, but devices that lived only in the snapshot are
+		// gone — and gone devices fail closed (no rule ⇒ strict).
+		rec.Degraded = true
+		rec.Warnings = append(rec.Warnings, fmt.Sprintf("snapshot unreadable, recovering from journal alone: %v", err))
+	}
+
+	var snapSeq uint64
+	if rec.Snapshot != nil {
+		snapSeq = rec.Snapshot.Seq
+	}
+	j, scan, err := openJournal(filepath.Join(dir, journalName))
+	if err != nil {
+		return nil, nil, err
+	}
+	s.j = j
+	rec.TornBytes = scan.tornBytes
+	if scan.corrupt {
+		rec.Degraded = true
+	}
+	rec.Warnings = append(rec.Warnings, scan.warnings...)
+	for _, ev := range scan.events {
+		if ev.Seq > snapSeq {
+			rec.Events = append(rec.Events, ev)
+		}
+	}
+	if j.seq < snapSeq {
+		j.seq = snapSeq
+	}
+
+	m := opts.Metrics
+	m.recovered(len(rec.Events), rec.TornBytes, rec.Degraded)
+	for _, w := range rec.Warnings {
+		s.logf("store: recovery: %s", w)
+	}
+	return s, rec, nil
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Seq returns the sequence number of the last appended record.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.seq
+}
+
+// Append journals one event, assigning its sequence number. Durable
+// events (quarantine, removal — see Event.durable) are fsynced before
+// Append returns; routine events batch their fsync.
+func (s *Store) Append(ev Event) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev.Seq = s.j.seq + 1
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return 0, fmt.Errorf("store: encode event: %w", err)
+	}
+	if err := s.j.append(payload, ev.durable(), s.opts.SyncEvery); err != nil {
+		return 0, err
+	}
+	s.opts.Metrics.appended(len(payload), ev.durable())
+	return s.j.seq, nil
+}
+
+// Sync flushes and fsyncs any batched appends.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.sync()
+}
+
+// Checkpoint atomically persists the snapshot and compacts the journal
+// down to the records it does not cover. The snapshot's Seq must have
+// been read from Seq() *before* the caller collected the state it
+// describes: records appended during collection survive compaction and
+// replay idempotently on top of the snapshot.
+func (s *Store) Checkpoint(snap *Snapshot) error {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap.Version = snapshotVersion
+	if snap.TakenAt.IsZero() {
+		snap.TakenAt = time.Now()
+	}
+	if err := s.j.sync(); err != nil {
+		return err
+	}
+	if err := writeSnapshot(filepath.Join(s.dir, snapshotName), snap); err != nil {
+		return err
+	}
+	if err := s.j.compact(snap.Seq); err != nil {
+		return err
+	}
+	s.opts.Metrics.snapshotted(time.Since(start))
+	return nil
+}
+
+// Models returns the model store rooted in the state directory.
+func (s *Store) Models() *ModelStore {
+	return &ModelStore{dir: filepath.Join(s.dir, modelsDir), m: s.opts.Metrics}
+}
+
+// Close fsyncs and closes the journal. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.close()
+}

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/obs"
+	"iotsentinel/internal/packet"
+)
+
+func mac(b byte) packet.MAC { return packet.MAC{0x02, 0, 0, 0, 0, b} }
+
+func openT(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, rec
+}
+
+func appendT(t *testing.T, s *Store, ev Event) uint64 {
+	t.Helper()
+	seq, err := s.Append(ev)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return seq
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openT(t, dir, Options{})
+	if rec.Snapshot != nil || len(rec.Events) != 0 || rec.Degraded {
+		t.Fatalf("cold start should be empty and clean, got %+v", rec)
+	}
+	at := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	appendT(t, s, Event{Kind: EvCaptureStarted, MAC: mac(1), At: at, FirstSeen: at})
+	appendT(t, s, Event{Kind: EvAssessed, MAC: mac(1), At: at.Add(time.Second),
+		Type: "DLinkCam", Level: 3, SetupPackets: 17, FirstSeen: at})
+	appendT(t, s, Event{Kind: EvQuarantined, MAC: mac(2), At: at.Add(2 * time.Second),
+		Attempts: 1, Fingerprint: [][]float64{}})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec2 := openT(t, dir, Options{})
+	defer s2.Close()
+	if rec2.Degraded {
+		t.Fatalf("clean journal flagged degraded: %v", rec2.Warnings)
+	}
+	if len(rec2.Events) != 3 {
+		t.Fatalf("replayed %d events, want 3", len(rec2.Events))
+	}
+	for i, ev := range rec2.Events {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	e1 := rec2.Events[1]
+	if e1.Kind != EvAssessed || e1.MAC != mac(1) || e1.Type != "DLinkCam" || e1.Level != 3 || e1.SetupPackets != 17 {
+		t.Errorf("assessed event did not round-trip: %+v", e1)
+	}
+	if !e1.At.Equal(at.Add(time.Second)) || !e1.FirstSeen.Equal(at) {
+		t.Errorf("timestamps did not round-trip: %+v", e1)
+	}
+	if got := s2.Seq(); got != 3 {
+		t.Errorf("Seq() = %d, want 3", got)
+	}
+}
+
+// TestJournalTornTail truncates the journal at every byte offset and
+// checks recovery keeps exactly the complete frames, never flags the
+// truncation as degraded, and never fails the boot.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		appendT(t, s, Event{Kind: EvAssessed, MAC: mac(byte(i)), Type: "T", Level: 1})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries, to know how many events each cut preserves.
+	var bounds []int // bounds[k] = end offset of frame k
+	off := 0
+	for off < len(full) {
+		length := int(uint32(full[off]) | uint32(full[off+1])<<8 | uint32(full[off+2])<<16 | uint32(full[off+3])<<24)
+		off += frameHeaderLen + length
+		bounds = append(bounds, off)
+	}
+	wantEvents := func(cut int) int {
+		n := 0
+		for _, b := range bounds {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := 0; cut < len(full); cut++ {
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, journalName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, rec := openT(t, tdir, Options{})
+		if rec.Degraded {
+			t.Fatalf("cut=%d: pure truncation flagged degraded: %v", cut, rec.Warnings)
+		}
+		if want := wantEvents(cut); len(rec.Events) != want {
+			t.Fatalf("cut=%d: recovered %d events, want %d", cut, len(rec.Events), want)
+		}
+		// The journal must be appendable after a torn-tail truncation.
+		seq := appendT(t, s2, Event{Kind: EvRemoved, MAC: mac(9)})
+		if want := uint64(wantEvents(cut) + 1); seq != want {
+			t.Fatalf("cut=%d: post-recovery seq %d, want %d", cut, seq, want)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s3, rec3 := openT(t, tdir, Options{})
+		if len(rec3.Events) != wantEvents(cut)+1 || rec3.Degraded {
+			t.Fatalf("cut=%d: reopen got %d events degraded=%v", cut, len(rec3.Events), rec3.Degraded)
+		}
+		s3.Close()
+	}
+}
+
+// TestJournalCorruption flips every byte of the journal in turn:
+// recovery must keep the frames before the damage, flag the pass
+// degraded, and keep booting.
+func TestJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	for i := 0; i < 4; i++ {
+		appendT(t, s, Event{Kind: EvAssessed, MAC: mac(byte(i)), Type: "T", Level: 2})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for pos := 0; pos < len(full); pos++ {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0xff
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, journalName), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, rec := openT(t, tdir, Options{})
+		// A flipped bit can masquerade as a torn tail only by enlarging
+		// a length field — but the header CRC covers the length, so any
+		// in-file flip must surface as corruption (degraded), except
+		// flips inside a payload that keep... no: payload CRC covers
+		// payloads. Every flip must be detected.
+		if !rec.Degraded {
+			t.Fatalf("pos=%d: corruption not flagged degraded (got %d events, warnings %v)",
+				pos, len(rec.Events), rec.Warnings)
+		}
+		if len(rec.Events) >= 4 {
+			t.Fatalf("pos=%d: corrupt journal replayed all %d events", pos, len(rec.Events))
+		}
+		s2.Close()
+	}
+}
+
+func TestCheckpointCompactsJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		appendT(t, s, Event{Kind: EvAssessed, MAC: mac(byte(i)), Type: "T", Level: 1})
+	}
+	seqBefore := s.Seq()
+	// Records appended after the caller sampled Seq must survive
+	// compaction: they are not covered by the snapshot.
+	appendT(t, s, Event{Kind: EvQuarantined, MAC: mac(200)})
+	if err := s.Checkpoint(&Snapshot{Seq: seqBefore, Devices: []DeviceRecord{{MAC: mac(1), State: "assessed"}}}); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	appendT(t, s, Event{Kind: EvRemoved, MAC: mac(3)})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := openT(t, dir, Options{})
+	defer s2.Close()
+	if rec.Snapshot == nil || rec.Snapshot.Seq != seqBefore || len(rec.Snapshot.Devices) != 1 {
+		t.Fatalf("snapshot not recovered: %+v", rec.Snapshot)
+	}
+	if len(rec.Events) != 2 {
+		t.Fatalf("recovered %d post-snapshot events, want 2 (quarantine + removal)", len(rec.Events))
+	}
+	if rec.Events[0].Kind != EvQuarantined || rec.Events[1].Kind != EvRemoved {
+		t.Fatalf("wrong surviving events: %+v", rec.Events)
+	}
+	if got := s2.Seq(); got != seqBefore+2 {
+		t.Errorf("seq not preserved across compaction: %d, want %d", got, seqBefore+2)
+	}
+}
+
+func TestSnapshotCorruptionDegrades(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	appendT(t, s, Event{Kind: EvAssessed, MAC: mac(1), Type: "T", Level: 3})
+	seq := s.Seq()
+	if err := s.Checkpoint(&Snapshot{Seq: seq, Devices: []DeviceRecord{{MAC: mac(1), State: "assessed", Level: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, s, Event{Kind: EvQuarantined, MAC: mac(2)})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := openT(t, dir, Options{})
+	defer s2.Close()
+	if !rec.Degraded {
+		t.Fatal("corrupt snapshot must flag recovery degraded")
+	}
+	if rec.Snapshot != nil {
+		t.Fatal("corrupt snapshot must not be returned")
+	}
+	// Journal events after the snapshot still replay.
+	if len(rec.Events) != 1 || rec.Events[0].Kind != EvQuarantined {
+		t.Fatalf("journal suffix lost: %+v", rec.Events)
+	}
+}
+
+func TestStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Metrics: m})
+	appendT(t, s, Event{Kind: EvAssessed, MAC: mac(1)})
+	appendT(t, s, Event{Kind: EvQuarantined, MAC: mac(2)})
+	if err := s.Checkpoint(&Snapshot{Seq: s.Seq()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Value("store_journal_appends_total", "durability", "batched"); got != 1 {
+		t.Errorf("batched appends = %v, want 1", got)
+	}
+	if got := snap.Value("store_journal_appends_total", "durability", "fsync"); got != 1 {
+		t.Errorf("fsync appends = %v, want 1", got)
+	}
+	if got := snap.Value("store_snapshots_total"); got != 1 {
+		t.Errorf("snapshots = %v, want 1", got)
+	}
+	if got := snap.Value("store_recoveries_total", "outcome", "clean"); got != 1 {
+		t.Errorf("clean recoveries = %v, want 1", got)
+	}
+}
