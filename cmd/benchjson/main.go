@@ -20,7 +20,8 @@
 //	}
 //
 // bytes_per_op and allocs_per_op appear only when the run used
-// -benchmem.
+// -benchmem. Repeated results for one benchmark (`-count=N`) are
+// merged keeping the minimum ns/op — see (*document).merge.
 package main
 
 import (
@@ -115,13 +116,32 @@ func parse(in io.Reader) (*document, error) {
 			if !ok {
 				continue // e.g. "BenchmarkFoo-8" alone on a wrapped line
 			}
-			doc.Benchmarks = append(doc.Benchmarks, b)
+			doc.merge(b)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return doc, nil
+}
+
+// merge folds a result into the document. Repeated results for the
+// same benchmark (a `-count=N` run) keep the minimum ns/op: the
+// fastest repeat is the least scheduler-contended measurement of the
+// code's actual capability, so archiving it damps the run-to-run noise
+// that would otherwise trip `benchreport -delta` on a busy host.
+func (d *document) merge(b benchmark) {
+	for i := range d.Benchmarks {
+		have := &d.Benchmarks[i]
+		if have.Name != b.Name || have.Pkg != b.Pkg {
+			continue
+		}
+		if b.NsPerOp < have.NsPerOp {
+			*have = b
+		}
+		return
+	}
+	d.Benchmarks = append(d.Benchmarks, b)
 }
 
 func parseResult(line, pkg string) (benchmark, bool) {

@@ -64,6 +64,29 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseMergesRepeatsKeepingMin(t *testing.T) {
+	repeats := `pkg: iotsentinel/internal/a
+BenchmarkHot-8   100   300 ns/op   8 B/op   1 allocs/op
+BenchmarkHot-8   120   250 ns/op   8 B/op   1 allocs/op
+BenchmarkHot-8   110   410 ns/op   8 B/op   1 allocs/op
+pkg: iotsentinel/internal/b
+BenchmarkHot-8   100   999 ns/op
+`
+	doc, err := parse(strings.NewReader(repeats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (repeats merged, same name in another pkg kept)", len(doc.Benchmarks))
+	}
+	if b := doc.Benchmarks[0]; b.NsPerOp != 250 || b.Runs != 120 {
+		t.Errorf("merged repeat = %v ns/op over %d runs, want the 250 ns/op row", b.NsPerOp, b.Runs)
+	}
+	if b := doc.Benchmarks[1]; b.Pkg != "iotsentinel/internal/b" || b.NsPerOp != 999 {
+		t.Errorf("cross-package benchmark wrongly merged: %+v", b)
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	noisy := "BenchmarkAlone-8\nBenchmarkBadRuns-8 xyz 12 ns/op\nnot a bench line\n"
 	doc, err := parse(strings.NewReader(noisy))

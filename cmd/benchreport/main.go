@@ -6,6 +6,8 @@
 //	benchreport -exp all
 //	benchreport -exp fig5 -captures 20 -folds 10 -repeats 10
 //	benchreport -exp ablation-trees
+//	benchreport -delta .            # diff the two newest BENCH_*.json
+//	benchreport -delta old.json,new.json -delta-threshold 10
 //
 // Experiments: fig5, table3, table4, table5, table6, fig6a, fig6b,
 // fig6c, features, unknown, tradeoff, remote-controller, ablation-fplen, ablation-negratio,
@@ -32,15 +34,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment to run")
-		captures = fs.Int("captures", 20, "setup captures per device-type")
-		folds    = fs.Int("folds", 10, "cross-validation folds")
-		repeats  = fs.Int("repeats", 10, "cross-validation repeats")
-		seed     = fs.Int64("seed", 1, "random seed")
-		iters    = fs.Int("iterations", 15, "latency iterations per pair")
+		exp        = fs.String("exp", "all", "experiment to run")
+		captures   = fs.Int("captures", 20, "setup captures per device-type")
+		folds      = fs.Int("folds", 10, "cross-validation folds")
+		repeats    = fs.Int("repeats", 10, "cross-validation repeats")
+		seed       = fs.Int64("seed", 1, "random seed")
+		iters      = fs.Int("iterations", 15, "latency iterations per pair")
+		delta      = fs.String("delta", "", "compare archived benchmarks instead of running experiments: a directory holding BENCH_*.json (two newest compared) or an explicit 'old.json,new.json' pair")
+		deltaThr   = fs.Float64("delta-threshold", 10, "percent ns/op slowdown that fails -delta")
+		deltaGate  = fs.String("delta-gate", "", "regexp of benchmark names whose regressions fail -delta; others are reported only (empty gates everything)")
+		deltaAllow = fs.String("delta-allow", "", "regexp of benchmark names whose regressions are reported but do not fail -delta (accepted trade-offs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *delta != "" {
+		return runDelta(out, *delta, *deltaThr, *deltaGate, *deltaAllow)
 	}
 	opts := report.Options{
 		Captures:          *captures,

@@ -149,7 +149,13 @@ func run(args []string, out io.Writer) error {
 		if res.Discriminated {
 			fmt.Fprintf(out, "matched %d types; discriminated by edit distance:\n", len(res.Matches))
 			for _, t := range res.Matches {
-				fmt.Fprintf(out, "  %-20s score %.3f\n", t, res.Scores[t])
+				// Candidates abandoned by the budgeted scorer carry no
+				// exact score — only that they could not beat the winner.
+				if s, ok := res.Scores[t]; ok {
+					fmt.Fprintf(out, "  %-20s score %.3f\n", t, s)
+				} else {
+					fmt.Fprintf(out, "  %-20s pruned (worse than winner)\n", t)
+				}
 			}
 		}
 	}

@@ -58,19 +58,29 @@ func NewIdentifyCache(capacity int) *IdentifyCache {
 
 // get returns a deep copy of the cached result for key, if present.
 func (c *IdentifyCache) get(key fingerprint.Key) (Result, bool) {
+	var res Result
+	ok := c.getInto(key, &res)
+	return res, ok
+}
+
+// getInto copies the cached result for key into *res, reusing res's
+// Matches backing array and Scores map — the zero-allocation variant of
+// get for steady-state callers. It reports whether key was present.
+func (c *IdentifyCache) getInto(key fingerprint.Key, res *Result) bool {
 	if c == nil {
-		return Result{}, false
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return Result{}, false
+		return false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return copyResult(el.Value.(*cacheEntry).res), true
+	copyResultInto(&el.Value.(*cacheEntry).res, res)
+	return true
 }
 
 // put stores a deep copy of res under key, evicting the least recently
@@ -136,15 +146,35 @@ func (c *IdentifyCache) Stats() (hits, misses uint64) {
 // copyResult deep-copies the mutable fields of a Result so cached
 // values cannot alias caller-visible ones.
 func copyResult(res Result) Result {
-	out := res
-	if res.Matches != nil {
-		out.Matches = append([]TypeID(nil), res.Matches...)
-	}
-	if res.Scores != nil {
-		out.Scores = make(map[TypeID]float64, len(res.Scores))
-		for t, s := range res.Scores {
-			out.Scores[t] = s
-		}
-	}
+	var out Result
+	copyResultInto(&res, &out)
 	return out
+}
+
+// copyResultInto deep-copies src into dst, reusing dst's Matches
+// backing array and Scores map where possible. A nil src.Matches or
+// src.Scores stays nil in a fresh dst; a reused dst keeps its
+// (emptied) containers, which callers must treat as equivalent.
+func copyResultInto(src, dst *Result) {
+	dst.Type = src.Type
+	dst.Discriminated = src.Discriminated
+	dst.EditDistances = src.EditDistances
+	dst.ClassifyTime = src.ClassifyTime
+	dst.DiscriminateTime = src.DiscriminateTime
+	if src.Matches == nil && dst.Matches == nil {
+		// keep nil: Identify's zero-value Result round-trips exactly
+	} else {
+		dst.Matches = append(dst.Matches[:0], src.Matches...)
+	}
+	if src.Scores == nil && dst.Scores == nil {
+		return
+	}
+	if dst.Scores == nil {
+		dst.Scores = make(map[TypeID]float64, len(src.Scores))
+	} else {
+		clear(dst.Scores)
+	}
+	for t, s := range src.Scores {
+		dst.Scores[t] = s
+	}
 }

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -90,10 +91,11 @@ func (c Config) normalize() (Config, error) {
 type typeModel struct {
 	forest *rf.Forest
 	refs   []fingerprint.F
-	// refset holds the references pre-interned once at build time, so
-	// discrimination interns each candidate once per model instead of
-	// re-hashing all references for every candidate of every
-	// identification.
+	// refset holds the references pre-interned once at build time on
+	// the identifier's shared vocabulary, so discrimination interns
+	// each candidate once per identification — not once per model —
+	// and scores it against every candidate's references through one
+	// symbol table.
 	refset *editdist.RefSet
 }
 
@@ -123,6 +125,47 @@ type Identifier struct {
 	// canonical fingerprint hash was already answered. The cache is
 	// internally synchronized; mu only guards the pointer.
 	cache *IdentifyCache
+	// vocab is the symbol table shared by every type's refset: one
+	// feature-vector interning pass per identification covers the whole
+	// bank. It grows only under the write lock (Train, AddType), so
+	// readers use it lock-free.
+	vocab *editdist.Vocab
+	// scratch pools per-identification working memory (accept bits,
+	// interned candidate word) so the steady-state hot path does not
+	// allocate.
+	scratch sync.Pool
+}
+
+// identifyScratch is the reusable working memory of one identification.
+type identifyScratch struct {
+	accepted []bool
+	word     []int
+	fprime   []float64
+}
+
+func (sc *identifyScratch) primeCopy(src []float64) []float64 {
+	if cap(sc.fprime) < len(src) {
+		sc.fprime = make([]float64, len(src))
+	}
+	sc.fprime = sc.fprime[:len(src)]
+	copy(sc.fprime, src)
+	return sc.fprime
+}
+
+func (sc *identifyScratch) boolBuf(n int) []bool {
+	if cap(sc.accepted) < n {
+		sc.accepted = make([]bool, n)
+	}
+	sc.accepted = sc.accepted[:n]
+	clear(sc.accepted)
+	return sc.accepted
+}
+
+func (id *Identifier) getScratch() *identifyScratch {
+	if sc, ok := id.scratch.Get().(*identifyScratch); ok {
+		return sc
+	}
+	return &identifyScratch{}
 }
 
 // Train builds one classifier per device-type from labelled
@@ -141,6 +184,7 @@ func Train(samples map[TypeID][]fingerprint.Fingerprint, cfg Config) (*Identifie
 		cfg:    cfg,
 		models: make(map[TypeID]*typeModel, len(samples)),
 		pool:   make(map[TypeID][]fingerprint.Fingerprint, len(samples)),
+		vocab:  editdist.NewVocab(),
 	}
 	for t, fps := range samples {
 		if len(fps) == 0 {
@@ -164,7 +208,13 @@ func Train(samples map[TypeID][]fingerprint.Fingerprint, cfg Config) (*Identifie
 	if err != nil {
 		return nil, err
 	}
+	// Refsets intern into the shared vocabulary, which is one mutable
+	// map — so they attach sequentially, in canonical type order, after
+	// the parallel training fan-in. Symbol numbering never affects
+	// distances (only symbol equality does), so this ordering is a
+	// determinism nicety, not a correctness requirement.
 	for i, t := range id.types {
+		built[i].refset = editdist.NewRefSetVocab(id.vocab, built[i].refs)
 		id.models[t] = built[i]
 	}
 	return id, nil
@@ -235,6 +285,9 @@ func (id *Identifier) AddType(t TypeID, fps []fingerprint.Fingerprint) error {
 		delete(id.pool, t)
 		return err
 	}
+	// Safe to grow the shared vocabulary here: the write lock excludes
+	// every reader for the duration.
+	m.refset = editdist.NewRefSetVocab(id.vocab, m.refs)
 	id.models[t] = m
 	id.types = sortedKeys(id.pool)
 	// The bank changed: every cached answer is now stale (the new type
@@ -315,7 +368,10 @@ func (id *Identifier) buildModel(t TypeID) (*typeModel, error) {
 	for _, ri := range refIdx[:nRefs] {
 		refs = append(refs, pos[ri].F)
 	}
-	return &typeModel{forest: forest, refs: refs, refset: editdist.NewRefSet(refs)}, nil
+	// The refset is attached by the caller: it interns into the shared
+	// vocabulary, which buildModel must not touch — Train runs
+	// buildModel concurrently across types.
+	return &typeModel{forest: forest, refs: refs}, nil
 }
 
 // Result reports the outcome of one identification.
@@ -327,16 +383,36 @@ type Result struct {
 	// fingerprint, sorted.
 	Matches []TypeID
 	// Scores holds the per-candidate dissimilarity score in [0,
-	// RefFingerprints] when discrimination ran.
+	// RefFingerprints] for every candidate whose discrimination scoring
+	// ran to completion. Candidates that were abandoned early — the
+	// banded scorer proved their sum could not beat the running best —
+	// are absent; the winner's score is always present and always
+	// exact. Scores is nil when discrimination did not run (it may be
+	// an empty non-nil map when a Result is reused via IdentifyInto).
 	Scores map[TypeID]float64
 	// Discriminated reports whether the edit-distance step ran.
 	Discriminated bool
-	// EditDistances is the number of edit-distance computations
-	// performed (Table IV's "7 discriminations" average).
+	// EditDistances is the number of edit-distance computations started
+	// (Table IV's "7 discriminations" average). A computation abandoned
+	// by the early-exit bound still counts as started.
 	EditDistances int
 	// ClassifyTime and DiscriminateTime break down where time went.
 	ClassifyTime     time.Duration
 	DiscriminateTime time.Duration
+}
+
+// reset clears res for reuse, retaining the Matches backing array and
+// the Scores map so a steady-state IdentifyInto loop does not allocate.
+func (r *Result) reset() {
+	r.Type = Unknown
+	r.Matches = r.Matches[:0]
+	if r.Scores != nil {
+		clear(r.Scores)
+	}
+	r.Discriminated = false
+	r.EditDistances = 0
+	r.ClassifyTime = 0
+	r.DiscriminateTime = 0
 }
 
 // minParallelTypes is the bank size below which fanning a single
@@ -344,74 +420,84 @@ type Result struct {
 const minParallelTypes = 8
 
 // Identify runs the two-stage pipeline on one fingerprint. With
-// Workers > 1 the classifier votes and the edit-distance discrimination
-// fan out across the bank; results are identical to sequential
-// execution because matches and scores merge in canonical type order.
+// Workers > 1 the classifier votes fan out across the bank; results are
+// identical to sequential execution because matches merge in canonical
+// type order and discrimination is sequential by construction.
 func (id *Identifier) Identify(fp fingerprint.Fingerprint) Result {
-	id.mu.RLock()
-	defer id.mu.RUnlock()
-	return id.identifyObserved(fp, id.cfg.workers())
+	var res Result
+	id.IdentifyInto(fp, &res)
+	return res
 }
 
-// identifyLocked is Identify with the read lock already held and an
+// IdentifyInto is Identify writing its answer into *res, reusing res's
+// Matches backing array and Scores map. A caller that keeps one Result
+// per goroutine and loops IdentifyInto over probes identifies without
+// allocating in the steady state. The answer is field-for-field
+// identical to Identify's, except that a reused Scores map is cleared
+// rather than set to nil when discrimination does not run.
+func (id *Identifier) IdentifyInto(fp fingerprint.Fingerprint, res *Result) {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	id.identifyObserved(fp, id.cfg.workers(), res)
+}
+
+// identifyLocked is the pipeline with the read lock already held and an
 // explicit fan-out bound (IdentifyBatch parallelizes across
 // fingerprints instead, so its per-item calls run the bank
 // sequentially).
-func (id *Identifier) identifyLocked(fp fingerprint.Fingerprint, workers int) Result {
-	var res Result
+func (id *Identifier) identifyLocked(fp fingerprint.Fingerprint, workers int, sc *identifyScratch, res *Result) {
+	res.reset()
 
 	start := time.Now()
-	res.Matches = id.classifyLocked(fp, workers)
+	res.Matches = id.classifyLocked(fp, workers, sc, res.Matches)
 	res.ClassifyTime = time.Since(start)
 
 	switch len(res.Matches) {
 	case 0:
 		res.Type = Unknown
-		return res
+		return
 	case 1:
 		res.Type = res.Matches[0]
-		return res
+		return
 	}
 
 	if id.cfg.DisableDiscrimination {
 		res.Type = res.Matches[0]
-		return res
+		return
 	}
 
-	// Multiple matches: discriminate by summed normalized edit
-	// distance to each candidate's reference fingerprints. Each
-	// candidate's score is independent, so the distance computations
-	// fan out; the winner scan below stays sequential in match order
-	// so ties resolve exactly as they would sequentially.
+	// Multiple matches: discriminate by summed normalized edit distance
+	// to each candidate's reference fingerprints. The candidate is
+	// interned once against the shared vocabulary, then candidates are
+	// scored sequentially in canonical match order with the running
+	// best sum as each scorer's budget: a candidate that provably
+	// cannot beat the best is abandoned mid-scoring. The first
+	// candidate (and any new best) always completes exactly, and ties
+	// resolve to the earliest candidate — completed-equal and
+	// abandoned-at-the-bound candidates lose alike — so the winner and
+	// its score are bit-identical to exhaustive scoring.
 	start = time.Now()
 	res.Discriminated = true
-	scores := make([]float64, len(res.Matches))
-	counts := make([]int, len(res.Matches))
-	if workers > len(res.Matches) {
-		workers = len(res.Matches)
+	if res.Scores == nil {
+		res.Scores = make(map[TypeID]float64, len(res.Matches))
 	}
-	if len(res.Matches) < 2 {
-		workers = 1
-	}
-	forEachIndexed(workers, len(res.Matches), func(i int) {
-		m := id.models[res.Matches[i]]
-		scores[i], counts[i] = m.refset.DistanceSum(fp.F)
-	})
-	res.Scores = make(map[TypeID]float64, len(res.Matches))
-	// Strictly-less comparison from the first match: equal dissimilarity
-	// scores resolve to the lexicographically-first candidate (Matches
-	// is sorted), sequential and parallel alike.
-	best, bestScore := res.Matches[0], scores[0]
-	for i, t := range res.Matches {
-		res.Scores[t] = scores[i]
-		res.EditDistances += counts[i]
-		if scores[i] < bestScore {
-			best, bestScore = t, scores[i]
+	sc.word = id.vocab.AppendWord(sc.word[:0], fp.F)
+	best := math.Inf(1)
+	bestType := res.Matches[0]
+	for _, t := range res.Matches {
+		m := id.models[t]
+		sum, n, pruned := m.refset.DistanceSumBoundedWord(sc.word, best)
+		res.EditDistances += n
+		if pruned {
+			continue
+		}
+		res.Scores[t] = sum
+		if sum < best {
+			best, bestType = sum, t
 		}
 	}
 	res.DiscriminateTime = time.Since(start)
-	res.Type = best
-	return res
+	res.Type = bestType
 }
 
 // identifyObserved is identifyLocked plus the cache probe and metrics
@@ -420,30 +506,31 @@ func (id *Identifier) identifyLocked(fp fingerprint.Fingerprint, workers int) Re
 // holds at least a read lock, which is what makes the lookup sound:
 // AddType (the only bank mutation) write-locks, purges the cache, and
 // therefore cannot interleave between a stale read and our insert.
-func (id *Identifier) identifyObserved(fp fingerprint.Fingerprint, workers int) Result {
+func (id *Identifier) identifyObserved(fp fingerprint.Fingerprint, workers int, res *Result) {
+	sc := id.getScratch()
+	defer id.scratch.Put(sc)
 	if id.cache == nil {
-		res := id.identifyLocked(fp, workers)
-		id.metrics.observe(res)
-		return res
+		id.identifyLocked(fp, workers, sc, res)
+		id.metrics.observe(*res)
+		return
 	}
 	key := fp.CanonicalKey()
-	if res, ok := id.cache.get(key); ok {
+	if id.cache.getInto(key, res) {
 		id.metrics.observeCache(true)
-		id.metrics.observe(res)
-		return res
+		id.metrics.observe(*res)
+		return
 	}
-	res := id.identifyLocked(fp, workers)
-	id.cache.put(key, res)
+	id.identifyLocked(fp, workers, sc, res)
+	id.cache.put(key, *res)
 	id.metrics.observeCache(false)
-	id.metrics.observe(res)
-	return res
+	id.metrics.observe(*res)
 }
 
-// classifyLocked scores every classifier in the bank on fp and returns
-// the accepting types in canonical order. Accept decisions land in a
-// per-type slot indexed by bank position, so the fan-out order cannot
-// reorder the result.
-func (id *Identifier) classifyLocked(fp fingerprint.Fingerprint, workers int) []TypeID {
+// classifyLocked scores every classifier in the bank on fp and appends
+// the accepting types to dst in canonical order. Accept decisions land
+// in a per-type slot indexed by bank position, so the fan-out order
+// cannot reorder the result.
+func (id *Identifier) classifyLocked(fp fingerprint.Fingerprint, workers int, sc *identifyScratch, dst []TypeID) []TypeID {
 	n := len(id.types)
 	if workers > n {
 		workers = n
@@ -451,18 +538,30 @@ func (id *Identifier) classifyLocked(fp fingerprint.Fingerprint, workers int) []
 	if n < minParallelTypes {
 		workers = 1
 	}
-	accepted := make([]bool, n)
-	forEachIndexed(workers, n, func(i int) {
-		m := id.models[id.types[i]]
-		accepted[i] = m.forest.SoftProba(fp.FPrime[:])[1] >= id.cfg.AcceptThreshold
-	})
-	var matches []TypeID
+	accepted := sc.boolBuf(n)
+	if workers <= 1 {
+		// The sequential bank scan is the steady-state hot path; it
+		// stays closure-free so the probe never escapes to the heap.
+		for i := 0; i < n; i++ {
+			m := id.models[id.types[i]]
+			accepted[i] = m.forest.AcceptSoft(fp.FPrime[:], 1, id.cfg.AcceptThreshold)
+		}
+	} else {
+		// The fan-out closure must not capture fp: a goroutine-borne
+		// closure forces its captures to the heap even on the branch
+		// that never runs it. Hand it a pooled copy of F′ instead.
+		prime := sc.primeCopy(fp.FPrime[:])
+		forEachIndexed(workers, n, func(i int) {
+			m := id.models[id.types[i]]
+			accepted[i] = m.forest.AcceptSoft(prime, 1, id.cfg.AcceptThreshold)
+		})
+	}
 	for i, ok := range accepted {
 		if ok {
-			matches = append(matches, id.types[i])
+			dst = append(dst, id.types[i])
 		}
 	}
-	return matches
+	return dst
 }
 
 // IdentifyBatch runs the pipeline over many fingerprints at once,
@@ -486,7 +585,7 @@ func (id *Identifier) IdentifyBatch(fps []fingerprint.Fingerprint) []Result {
 		workers = len(fps)
 	}
 	forEachIndexed(workers, len(fps), func(i int) {
-		out[i] = id.identifyObserved(fps[i], 1)
+		id.identifyObserved(fps[i], 1, &out[i])
 	})
 	return out
 }
@@ -496,7 +595,9 @@ func (id *Identifier) IdentifyBatch(fps []fingerprint.Fingerprint) []Result {
 func (id *Identifier) ClassifyOnly(fp fingerprint.Fingerprint) []TypeID {
 	id.mu.RLock()
 	defer id.mu.RUnlock()
-	return id.classifyLocked(fp, id.cfg.workers())
+	sc := id.getScratch()
+	defer id.scratch.Put(sc)
+	return id.classifyLocked(fp, id.cfg.workers(), sc, nil)
 }
 
 // FeatureImportance aggregates Gini feature importance across every

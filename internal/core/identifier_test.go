@@ -137,14 +137,26 @@ func TestDiscriminationBetweenSiblings(t *testing.T) {
 		res := id.Identify(fp)
 		if res.Discriminated {
 			sawDiscrimination = true
-			if len(res.Scores) < 2 {
-				t.Error("discrimination ran with fewer than 2 candidate scores")
+			if len(res.Matches) < 2 {
+				t.Errorf("discrimination ran with %d matches", len(res.Matches))
 			}
 			if res.EditDistances == 0 {
 				t.Error("discrimination reported zero edit distances")
 			}
 			if res.Type != "plug-a" && res.Type != "plug-b" {
 				t.Errorf("sibling probe identified as %q", res.Type)
+			}
+			// The winner's score is always completed and exact, and no
+			// other completed candidate may beat it (abandoned
+			// candidates are absent from Scores by construction).
+			winScore, ok := res.Scores[res.Type]
+			if !ok {
+				t.Errorf("winner %q missing from Scores %v", res.Type, res.Scores)
+			}
+			for c, s := range res.Scores {
+				if s < winScore {
+					t.Errorf("candidate %q score %v beats winner %q score %v", c, s, res.Type, winScore)
+				}
 			}
 		}
 	}
@@ -259,10 +271,14 @@ func TestDeterministicTraining(t *testing.T) {
 	}
 }
 func TestDiscriminationTieBreak(t *testing.T) {
-	// Tie-break pin: when two candidates end discrimination with equal
-	// dissimilarity scores, the lexicographically-first match wins —
-	// Matches is sorted and the winner scan uses strictly-less — and
-	// the parallel fan-out resolves identically to sequential.
+	// Tie-break pin: when two candidates tie on dissimilarity, the
+	// lexicographically-first match wins — Matches is sorted, scoring
+	// walks it in order with the running best as each scorer's budget,
+	// and a later candidate must be *strictly* better to take the lead.
+	// A tied later candidate either completes with an equal score or is
+	// abandoned right at the bound; it loses either way, and any worker
+	// setting resolves identically because discrimination is
+	// sequential.
 	//
 	// Exact ties are manufactured white-box: the twin types share one
 	// size alphabet (different draws), keeping both classifiers near
@@ -291,10 +307,24 @@ func TestDiscriminationTieBreak(t *testing.T) {
 		if !res.Discriminated {
 			t.Fatalf("workers=%d: probe not discriminated (matches=%v); tie-break unexercised", workers, res.Matches)
 		}
+		matchedBoth := false
+		for _, m := range res.Matches {
+			if m == "b-near" {
+				matchedBoth = true
+			}
+		}
+		if !matchedBoth {
+			t.Fatalf("workers=%d: twin b-near not among matches %v; tie unexercised", workers, res.Matches)
+		}
 		sa, oka := res.Scores["a-near"]
-		sb, okb := res.Scores["b-near"]
-		if !oka || !okb || sa != sb {
-			t.Fatalf("workers=%d: twin scores not tied (a=%v,%v b=%v,%v)", workers, sa, oka, sb, okb)
+		if !oka {
+			t.Fatalf("workers=%d: first candidate a-near missing from Scores %v", workers, res.Scores)
+		}
+		// The twin shares a-near's references, so its exact score is
+		// sa: it must either complete at exactly sa or be abandoned at
+		// the bound — never win.
+		if sb, okb := res.Scores["b-near"]; okb && sb != sa {
+			t.Fatalf("workers=%d: twin scores not tied (a=%v b=%v)", workers, sa, sb)
 		}
 		if res.Type != "a-near" {
 			t.Errorf("workers=%d: tie resolved to %q, want lexicographically-first %q", workers, res.Type, "a-near")

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/testutil"
+)
+
+// Differential oracle for the zero-allocation identification hot path:
+// the retired pipeline — exhaustive SoftProba acceptance and exhaustive
+// DistanceSum discrimination with full per-candidate score maps — lives
+// on here, and the production path (AcceptSoft early exit, shared-vocab
+// interning, budgeted sequential discrimination) is checked against it
+// on every probe class the pipeline distinguishes.
+
+// refIdentify is the retired Identify, verbatim up to the removed
+// fan-out plumbing (the parallel and sequential paths were already
+// proven bit-identical, so the sequential body is the oracle).
+func refIdentify(id *Identifier, fp fingerprint.Fingerprint) Result {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	var res Result
+	var matches []TypeID
+	for _, t := range id.types {
+		m := id.models[t]
+		if m.forest.SoftProba(fp.FPrime[:])[1] >= id.cfg.AcceptThreshold {
+			matches = append(matches, t)
+		}
+	}
+	res.Matches = matches
+	switch len(matches) {
+	case 0:
+		res.Type = Unknown
+		return res
+	case 1:
+		res.Type = matches[0]
+		return res
+	}
+	if id.cfg.DisableDiscrimination {
+		res.Type = matches[0]
+		return res
+	}
+	res.Discriminated = true
+	scores := make([]float64, len(matches))
+	counts := make([]int, len(matches))
+	for i, t := range matches {
+		m := id.models[t]
+		scores[i], counts[i] = m.refset.DistanceSum(fp.F)
+	}
+	res.Scores = make(map[TypeID]float64, len(matches))
+	best, bestScore := matches[0], scores[0]
+	for i, t := range matches {
+		res.Scores[t] = scores[i]
+		res.EditDistances += counts[i]
+		if scores[i] < bestScore {
+			best, bestScore = t, scores[i]
+		}
+	}
+	res.Type = best
+	return res
+}
+
+// oracleIdentifier trains a bank that exercises every pipeline path:
+// sibling twins force multi-match discrimination, fillers push the bank
+// past minParallelTypes, and alien probes exercise the no-match path.
+func oracleIdentifier(t testing.TB, cfg Config) *Identifier {
+	t.Helper()
+	samples := map[TypeID][]fingerprint.Fingerprint{
+		"plug-a": synthType([]float64{100, 110}, 20, 15, 1),
+		"plug-b": synthType([]float64{100, 110}, 20, 15, 2),
+	}
+	fillerSizes := []float64{300, 400, 500, 600, 700, 800, 900, 1000}
+	for i, s := range fillerSizes {
+		samples[TypeID("filler-"+string(rune('a'+i)))] =
+			synthType([]float64{s, s + 10}, 20, 15, int64(10+i))
+	}
+	id, err := Train(samples, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return id
+}
+
+// discriminatingProbe returns a sibling probe that actually triggers
+// multi-match discrimination on id (not every draw lands both
+// classifiers above threshold).
+func discriminatingProbe(t testing.TB, id *Identifier) fingerprint.Fingerprint {
+	t.Helper()
+	for _, fp := range synthType([]float64{100, 110}, 10, 15, 50) {
+		if id.Identify(fp).Discriminated {
+			return fp
+		}
+	}
+	t.Fatal("no sibling probe triggered discrimination; oracle setup drifted")
+	return fingerprint.Fingerprint{}
+}
+
+func oracleProbeSet() []fingerprint.Fingerprint {
+	var probes []fingerprint.Fingerprint
+	probes = append(probes, synthType([]float64{100, 110}, 8, 15, 50)...)   // siblings: multi-match
+	probes = append(probes, synthType([]float64{300, 310}, 4, 15, 51)...)   // filler-a: single match
+	probes = append(probes, synthType([]float64{9000, 9100}, 4, 15, 52)...) // alien: no match
+	return probes
+}
+
+func checkAgainstOracle(t *testing.T, res, want Result, probe int) {
+	t.Helper()
+	if res.Type != want.Type {
+		t.Fatalf("probe %d: Type = %q, oracle %q", probe, res.Type, want.Type)
+	}
+	if len(res.Matches) != len(want.Matches) {
+		t.Fatalf("probe %d: Matches = %v, oracle %v", probe, res.Matches, want.Matches)
+	}
+	for i := range res.Matches {
+		if res.Matches[i] != want.Matches[i] {
+			t.Fatalf("probe %d: Matches = %v, oracle %v", probe, res.Matches, want.Matches)
+		}
+	}
+	if res.Discriminated != want.Discriminated {
+		t.Fatalf("probe %d: Discriminated = %v, oracle %v", probe, res.Discriminated, want.Discriminated)
+	}
+	if !res.Discriminated {
+		return
+	}
+	// The winner's score must be completed and bit-identical; every
+	// other completed score must also match the exhaustive value
+	// (abandoned candidates are simply absent).
+	ws, ok := res.Scores[res.Type]
+	if !ok {
+		t.Fatalf("probe %d: winner %q missing from Scores %v", probe, res.Type, res.Scores)
+	}
+	if ws != want.Scores[want.Type] {
+		t.Fatalf("probe %d: winner score %v, oracle %v (must be bit-identical)", probe, ws, want.Scores[want.Type])
+	}
+	for c, s := range res.Scores {
+		if s != want.Scores[c] {
+			t.Fatalf("probe %d: completed score %q = %v, oracle %v", probe, c, s, want.Scores[c])
+		}
+	}
+	if res.EditDistances == 0 || res.EditDistances > want.EditDistances {
+		t.Fatalf("probe %d: EditDistances = %d, oracle %d (budgeted path may only do less work)",
+			probe, res.EditDistances, want.EditDistances)
+	}
+}
+
+func TestIdentifyMatchesRetiredPipeline(t *testing.T) {
+	for _, cfg := range []Config{
+		{Seed: 7, NegativeRatio: 4, Workers: 1},
+		{Seed: 7, NegativeRatio: 4, Workers: 4},
+		{Seed: 7, NegativeRatio: 4, Workers: 1, AcceptThreshold: 0.3},
+		{Seed: 7, NegativeRatio: 4, Workers: 1, DisableDiscrimination: true},
+	} {
+		id := oracleIdentifier(t, cfg)
+		sawDiscrimination := false
+		for pi, fp := range oracleProbeSet() {
+			want := refIdentify(id, fp)
+			checkAgainstOracle(t, id.Identify(fp), want, pi)
+			sawDiscrimination = sawDiscrimination || want.Discriminated
+		}
+		if !sawDiscrimination && !cfg.DisableDiscrimination {
+			t.Fatalf("cfg %+v: no probe exercised discrimination; oracle coverage drifted", cfg)
+		}
+	}
+}
+
+// TestIdentifyBatchMatchesIdentify pins element-wise equivalence of the
+// batch path (which shares Result buffers per worker) to single calls.
+func TestIdentifyBatchMatchesIdentify(t *testing.T) {
+	id := oracleIdentifier(t, Config{Seed: 7, NegativeRatio: 4, Workers: 4})
+	probes := oracleProbeSet()
+	batch := id.IdentifyBatch(probes)
+	for i, fp := range probes {
+		checkAgainstOracle(t, batch[i], refIdentify(id, fp), i)
+	}
+}
+
+// TestIdentifyIntoZeroAllocSteadyState asserts the tentpole property:
+// after warm-up, an IdentifyInto loop reusing one Result performs zero
+// heap allocations on every pipeline path — no match, single match, and
+// multi-match with edit-distance discrimination.
+func TestIdentifyIntoZeroAllocSteadyState(t *testing.T) {
+	id := oracleIdentifier(t, Config{Seed: 7, NegativeRatio: 4, Workers: 1})
+	sibling := discriminatingProbe(t, id)
+	single := synthType([]float64{300, 310}, 1, 15, 51)[0]
+	alien := synthType([]float64{9000, 9100}, 1, 15, 52)[0]
+
+	var res Result
+	id.IdentifyInto(sibling, &res)
+	testutil.AssertZeroAllocs(t, "IdentifyInto/discriminated", func() { id.IdentifyInto(sibling, &res) })
+	testutil.AssertZeroAllocs(t, "IdentifyInto/single-match", func() { id.IdentifyInto(single, &res) })
+	testutil.AssertZeroAllocs(t, "IdentifyInto/no-match", func() { id.IdentifyInto(alien, &res) })
+}
+
+// TestIdentifyCacheHitZeroAlloc asserts the cached steady state: once a
+// probe's answer is stored, repeats served from the cache allocate
+// nothing (canonical hashing included).
+func TestIdentifyCacheHitZeroAlloc(t *testing.T) {
+	id := oracleIdentifier(t, Config{Seed: 7, NegativeRatio: 4, Workers: 1, CacheSize: 64})
+	sibling := synthType([]float64{100, 110}, 1, 15, 50)[0]
+	var res Result
+	id.IdentifyInto(sibling, &res) // miss fills the cache
+	testutil.AssertZeroAllocs(t, "IdentifyInto/cache-hit", func() { id.IdentifyInto(sibling, &res) })
+	if hits, _ := id.Cache().Stats(); hits == 0 {
+		t.Fatal("steady-state calls did not hit the cache")
+	}
+}
+
+// BenchmarkIdentifySteadyState is the production single-probe hot path:
+// IdentifyInto with a reused Result on a discriminating sibling probe —
+// classifier bank, shared-vocab interning and budgeted discrimination
+// included.
+func BenchmarkIdentifySteadyState(b *testing.B) {
+	id := oracleIdentifier(b, Config{Seed: 7, NegativeRatio: 4, Workers: 1})
+	probe := discriminatingProbe(b, id)
+	var res Result
+	id.IdentifyInto(probe, &res)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id.IdentifyInto(probe, &res)
+	}
+}
+
+// BenchmarkIdentifyBatchSteadyState pipelines a mixed probe batch
+// through the bank, the batch-identification analogue of the above.
+func BenchmarkIdentifyBatchSteadyState(b *testing.B) {
+	id := oracleIdentifier(b, Config{Seed: 7, NegativeRatio: 4, Workers: 1})
+	probes := oracleProbeSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = id.IdentifyBatch(probes)
+	}
+}
+
+// BenchmarkIdentifyCacheHit is the replayed-probe path: answers served
+// from the identification cache without touching the bank.
+func BenchmarkIdentifyCacheHit(b *testing.B) {
+	id := oracleIdentifier(b, Config{Seed: 7, NegativeRatio: 4, Workers: 1, CacheSize: 64})
+	probe := synthType([]float64{100, 110}, 1, 15, 50)[0]
+	var res Result
+	id.IdentifyInto(probe, &res)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id.IdentifyInto(probe, &res)
+	}
+}

@@ -83,6 +83,7 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 		cfg:    cfg,
 		models: make(map[TypeID]*typeModel, len(in.Types)),
 		pool:   make(map[TypeID][]fingerprint.Fingerprint, len(in.Types)),
+		vocab:  editdist.NewVocab(),
 	}
 	for _, td := range in.Types {
 		t := TypeID(td.ID)
@@ -107,7 +108,7 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 			}
 			m.refs = append(m.refs, f)
 		}
-		m.refset = editdist.NewRefSet(m.refs)
+		m.refset = editdist.NewRefSetVocab(id.vocab, m.refs)
 		id.models[t] = m
 		for i, rows := range td.Pool {
 			f, err := rowsToF(rows)

@@ -4,35 +4,119 @@
 // i.e. the optimal-string-alignment variant. A "character" is one packet
 // column of the fingerprint matrix F; two characters are equal iff all
 // 23 features agree.
+//
+// The DP is banded: a computation bounded by limit only fills the
+// diagonal band |i-j| <= limit and abandons as soon as the distance
+// provably exceeds the bound, turning the O(n·m) matrix into
+// O(min(n,m)·limit) work. Where the band is cut off the true value is
+// at least |i-j| > limit (every length-changing edit costs one, and
+// transpositions preserve length), so clamping out-of-band cells to a
+// large sentinel never underestimates — the result is exact whenever it
+// is <= limit, which is what lets discrimination abandon candidates
+// that cannot beat the current best sum (oracle_test.go and
+// FuzzBandedDistance hold the banded walk to the naive full matrix).
+// All scratch comes from a sync.Pool, so the steady-state paths
+// allocate nothing.
 package editdist
 
 import (
+	"math"
+	"sync"
+
 	"iotsentinel/internal/features"
 	"iotsentinel/internal/fingerprint"
 )
+
+// sentinel is an effectively-infinite cell value: larger than any real
+// distance or limit, small enough that +1 cannot overflow.
+const sentinel = 1 << 30
+
+// scratch is the reusable working memory for one distance or
+// discrimination call: three DP rows, the interned candidate word, and
+// the overlay table for symbols absent from a RefSet.
+type scratch struct {
+	prev2, prev, cur []int
+	word             []int
+	overlay          map[features.Vector]int
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func (s *scratch) rows(n int) (prev2, prev, cur []int) {
+	if cap(s.prev2) < n {
+		s.prev2 = make([]int, n)
+		s.prev = make([]int, n)
+		s.cur = make([]int, n)
+	}
+	return s.prev2[:n], s.prev[:n], s.cur[:n]
+}
 
 // Distance computes the restricted Damerau-Levenshtein distance between
 // two symbol sequences.
 func Distance(a, b []int) int {
 	la, lb := len(a), len(b)
+	limit := la
+	if lb > limit {
+		limit = lb
+	}
+	// A full-width band: every cell is computed, so the result is the
+	// exact distance.
+	return DistanceBounded(a, b, limit)
+}
+
+// DistanceBounded computes the restricted Damerau-Levenshtein distance
+// if it is at most limit, and otherwise returns some value greater
+// than limit (callers must test d > limit, not a specific sentinel).
+// A negative limit always reports exceeded.
+func DistanceBounded(a, b []int, limit int) int {
+	la, lb := len(a), len(b)
+	if limit < 0 {
+		return limit + 1
+	}
+	diff := la - lb
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > limit {
+		return limit + 1
+	}
 	if la == 0 {
 		return lb
 	}
 	if lb == 0 {
 		return la
 	}
-	// Three-row rolling DP: prev2 (i-2), prev (i-1), cur (i).
-	prev2 := make([]int, lb+1)
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	s := scratchPool.Get().(*scratch)
+	var d int
+	if limit >= la && limit >= lb {
+		// The band covers the whole matrix and the distance (at most
+		// max(la, lb)) cannot exceed the limit, so skip the band
+		// bookkeeping — edge sentinels, per-row minima, early exit —
+		// and run the plain full-width recurrence.
+		d = s.distanceExact(a, b)
+	} else {
+		d = s.distanceBounded(a, b, limit)
+	}
+	scratchPool.Put(s)
+	return d
+}
+
+// distanceExact is the full-matrix restricted Damerau-Levenshtein
+// recurrence: the same transitions as distanceBounded with an
+// all-covering band, minus the banding overhead. Exact calls
+// (Distance, FingerprintDistance, RefSet.DistanceSum) land here.
+func (s *scratch) distanceExact(a, b []int) int {
+	la, lb := len(a), len(b)
+	prev2, prev, cur := s.rows(lb + 1)
 	for j := 0; j <= lb; j++ {
 		prev[j] = j
 	}
 	for i := 1; i <= la; i++ {
 		cur[0] = i
+		ai := a[i-1]
 		for j := 1; j <= lb; j++ {
 			cost := 1
-			if a[i-1] == b[j-1] {
+			if ai == b[j-1] {
 				cost = 0
 			}
 			d := min3(
@@ -40,7 +124,7 @@ func Distance(a, b []int) int {
 				cur[j-1]+1,     // insertion
 				prev[j-1]+cost, // substitution / match
 			)
-			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+			if i > 1 && j > 1 && ai == b[j-2] && a[i-2] == b[j-1] {
 				if t := prev2[j-2] + 1; t < d {
 					d = t // adjacent transposition
 				}
@@ -50,6 +134,81 @@ func Distance(a, b []int) int {
 		prev2, prev, cur = prev, cur, prev2
 	}
 	return prev[lb]
+}
+
+func (s *scratch) distanceBounded(a, b []int, limit int) int {
+	la, lb := len(a), len(b)
+	prev2, prev, cur := s.rows(lb + 1)
+	// Row 0: true values within the band, sentinel beyond it (those
+	// cells are never on a path that stays within the limit).
+	hi0 := limit
+	if hi0 > lb {
+		hi0 = lb
+	}
+	for j := 0; j <= hi0; j++ {
+		prev[j] = j
+	}
+	if hi0 < lb {
+		prev[hi0+1] = sentinel
+	}
+	prevMin := 0
+	for i := 1; i <= la; i++ {
+		lo, hi := i-limit, i+limit
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > lb {
+			hi = lb
+		}
+		// Left edge: the boundary column when it is in band, a
+		// sentinel where the band has moved past it (that cell holds a
+		// stale row written three iterations ago).
+		if lo == 1 {
+			cur[0] = i
+		} else {
+			cur[lo-1] = sentinel
+		}
+		rowMin := sentinel
+		ai := a[i-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			d := min3(
+				prev[j]+1,      // deletion
+				cur[j-1]+1,     // insertion
+				prev[j-1]+cost, // substitution / match
+			)
+			if i > 1 && j > 1 && ai == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t // adjacent transposition
+				}
+			}
+			cur[j] = d
+			if d < rowMin {
+				rowMin = d
+			}
+		}
+		// Right edge: next row reads prev[hi+1]; make sure it is not a
+		// stale cell from an earlier band position.
+		if hi < lb {
+			cur[hi+1] = sentinel
+		}
+		// Every dependency of rows > i runs through rows i-1 and i
+		// (the transposition reaches back exactly two rows), and every
+		// transition is non-decreasing — so once two consecutive rows
+		// exceed the limit, the final cell must too.
+		if rowMin > limit && prevMin > limit {
+			return limit + 1
+		}
+		prevMin = rowMin
+		prev2, prev, cur = prev, cur, prev2
+	}
+	if d := prev[lb]; d <= limit {
+		return d
+	}
+	return limit + 1
 }
 
 // Normalized divides the edit distance by the length of the longer
@@ -65,6 +224,18 @@ func Normalized(a, b []int) float64 {
 	}
 	return float64(Distance(a, b)) / float64(n)
 }
+
+// overlayBase is the first symbol value handed to vectors absent from
+// a frozen table (RefSet or Vocab). It is far above any frozen symbol
+// (those are dense indices from 0), so overlay symbols can never
+// collide with the frozen range of any table — which is what lets one
+// pooled overlay be reused, un-renumbered, across calls and tables.
+const overlayBase = 1 << 40
+
+// maxOverlay bounds the pooled overlay's size; past it the map is
+// cleared and starts reaccumulating (the symbols already written into
+// words stay valid — only future insertions renumber).
+const maxOverlay = 4096
 
 // Interner maps feature vectors to stable integer symbols so fingerprint
 // matrices can be compared as words. Not safe for concurrent use.
@@ -104,18 +275,91 @@ func FingerprintDistance(a, b fingerprint.F) float64 {
 	return Normalized(in.Word(a), in.Word(b))
 }
 
+// Vocab is a symbol table shared by many RefSets, so that one
+// candidate fingerprint can be interned once per identification and
+// its word scored against every device type's references — the
+// 27-classifier shared pass. Interning happens at train time (or under
+// the owner's write lock); concurrent readers (Word, and scoring
+// against RefSets built on the vocab) are safe as long as no Intern
+// runs at the same time.
+type Vocab struct {
+	symbols map[features.Vector]int
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{symbols: make(map[features.Vector]int)}
+}
+
+// Intern adds every vector of f to the vocabulary.
+func (v *Vocab) Intern(f fingerprint.F) {
+	for _, vec := range f {
+		if _, ok := v.symbols[vec]; !ok {
+			v.symbols[vec] = len(v.symbols)
+		}
+	}
+}
+
+// Size returns the number of distinct vectors interned.
+func (v *Vocab) Size() int { return len(v.symbols) }
+
+// AppendWord converts f to its symbol sequence against the vocabulary,
+// appending to dst and returning it. Vectors absent from the
+// vocabulary get overlay symbols: consistent within the returned word,
+// never colliding with any frozen symbol. The word is valid against
+// every RefSet built on this vocabulary. Allocation-free once dst has
+// capacity and the pooled overlay has seen the novel vectors.
+func (v *Vocab) AppendWord(dst []int, f fingerprint.F) []int {
+	s := scratchPool.Get().(*scratch)
+	s.overlayPrune()
+	for _, vec := range f {
+		if sym, ok := v.symbols[vec]; ok {
+			dst = append(dst, sym)
+		} else {
+			dst = append(dst, s.overlaySym(vec))
+		}
+	}
+	scratchPool.Put(s)
+	return dst
+}
+
+// overlayPrune clears an overgrown overlay. Called only between words:
+// clearing mid-word would hand a recurring novel vector two different
+// symbols and corrupt the word's equality structure.
+func (s *scratch) overlayPrune() {
+	if len(s.overlay) >= maxOverlay {
+		clear(s.overlay)
+	}
+}
+
+// overlaySym returns the overlay symbol for a vector absent from the
+// frozen table, inserting it if new. The overlay persists across calls
+// (overlay symbols collide with no frozen table, see overlayBase) so
+// recurring novel vectors stop costing an insertion.
+func (s *scratch) overlaySym(vec features.Vector) int {
+	if s.overlay == nil {
+		s.overlay = make(map[features.Vector]int, 16)
+	}
+	sym, ok := s.overlay[vec]
+	if !ok {
+		sym = overlayBase + len(s.overlay)
+		s.overlay[vec] = sym
+	}
+	return sym
+}
+
 // RefSet is a set of reference fingerprints pre-interned once (at
 // train time) so that discrimination does not re-hash every reference
 // for every candidate. A RefSet is immutable after construction and
 // safe for concurrent use: DistanceSum resolves candidate vectors
 // against the frozen symbol table and spills novel vectors into a
-// private per-call overlay.
+// pooled overlay whose symbols cannot collide with frozen ones.
 type RefSet struct {
 	symbols map[features.Vector]int
 	words   [][]int
 }
 
-// NewRefSet interns the reference fingerprints into a shared frozen
+// NewRefSet interns the reference fingerprints into a private frozen
 // symbol table.
 func NewRefSet(refs []fingerprint.F) *RefSet {
 	in := NewInterner()
@@ -124,6 +368,25 @@ func NewRefSet(refs []fingerprint.F) *RefSet {
 		words[i] = in.Word(f)
 	}
 	return &RefSet{symbols: in.symbols, words: words}
+}
+
+// NewRefSetVocab interns the reference fingerprints through the shared
+// vocabulary, growing it. Words produced by the vocabulary's
+// AppendWord can then be scored directly with DistanceSumBoundedWord,
+// skipping per-RefSet candidate interning. Distances are identical to
+// a private-table RefSet's: symbol equality, the only thing the edit
+// distance reads, does not depend on which table assigned the symbols.
+func NewRefSetVocab(v *Vocab, refs []fingerprint.F) *RefSet {
+	words := make([][]int, len(refs))
+	for i, f := range refs {
+		v.Intern(f)
+		w := make([]int, len(f))
+		for j, vec := range f {
+			w[j] = v.symbols[vec]
+		}
+		words[i] = w
+	}
+	return &RefSet{symbols: v.symbols, words: words}
 }
 
 // Len returns the number of reference fingerprints.
@@ -135,39 +398,121 @@ func (rs *RefSet) Len() int { return len(rs.words) }
 // FingerprintDistance(f, ref) per reference: f is interned exactly
 // once, and the references not at all.
 func (rs *RefSet) DistanceSum(f fingerprint.F) (sum float64, n int) {
-	word := rs.wordOf(f)
-	for _, rw := range rs.words {
-		sum += Normalized(word, rw)
-	}
-	return sum, len(rs.words)
+	sum, n, _ = rs.DistanceSumBounded(f, math.Inf(1))
+	return sum, n
 }
 
-// wordOf converts f to its symbol sequence against the frozen table.
-// Vectors absent from the references get fresh symbols from a local
-// overlay, allocated only when the first novel vector appears; the
-// overlay starts past the frozen range so its symbols can never
-// collide with a reference symbol. Symbol identity — not value — is
-// all the edit distance reads, so the result is exactly what a joint
-// fresh interner would produce.
-func (rs *RefSet) wordOf(f fingerprint.F) []int {
-	out := make([]int, len(f))
-	var overlay map[features.Vector]int
-	next := len(rs.symbols)
+// DistanceSumBounded is DistanceSum with early abandonment: as soon as
+// the partial sum provably cannot stay below limit, it stops and
+// reports pruned = true (sum then holds the partial accumulation, not
+// the full total). While the sum stays below limit every distance is
+// computed exactly and accumulated in reference order, so an
+// un-pruned result is bit-identical to DistanceSum's — discrimination
+// uses the current best candidate's sum as the limit and keeps exact
+// scores for every candidate that completes. n counts the distance
+// computations started, including one cut short by the bound.
+//
+// Pruning is conservative across the int/float boundary: a reference
+// is abandoned at distance budget maxD only when
+// sum + (maxD+1)/maxlen >= limit under the exact float operations the
+// full accumulation would perform; integer distances and monotonicity
+// of IEEE-754 addition and division in their operands make exceeding
+// maxD a proof that the completed sum would have reached limit.
+func (rs *RefSet) DistanceSumBounded(f fingerprint.F, limit float64) (sum float64, n int, pruned bool) {
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	word := rs.wordInto(s, f)
+	return rs.distanceSumBoundedWord(s, word, limit)
+}
+
+// DistanceSumBoundedWord is DistanceSumBounded for a candidate already
+// interned as a word — via AppendWord on the Vocab this RefSet was
+// built on (NewRefSetVocab). One identification interns its
+// fingerprint once and scores the word against every matched type,
+// instead of re-hashing 184-byte vectors per RefSet.
+func (rs *RefSet) DistanceSumBoundedWord(word []int, limit float64) (sum float64, n int, pruned bool) {
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	return rs.distanceSumBoundedWord(s, word, limit)
+}
+
+func (rs *RefSet) distanceSumBoundedWord(s *scratch, word []int, limit float64) (sum float64, n int, pruned bool) {
+	for _, rw := range rs.words {
+		if sum >= limit {
+			// Distances are non-negative, so the full sum can only be
+			// >= limit as well: no later candidate information is lost
+			// by stopping here.
+			return sum, n, true
+		}
+		ml := len(word)
+		if len(rw) > ml {
+			ml = len(rw)
+		}
+		if ml == 0 {
+			n++
+			continue // both empty: normalized distance 0
+		}
+		mlf := float64(ml)
+		// Largest budget maxD whose overrun proves sum >= limit. The
+		// float guess is then nudged: up until overrunning it is a
+		// proof, down while a smaller budget still is (both loops
+		// settle within a step or two of the guess).
+		maxD := ml
+		if bound := (limit - sum) * mlf; bound < float64(ml+1) {
+			maxD = int(bound)
+			if maxD > ml {
+				maxD = ml
+			}
+			for maxD < ml && sum+float64(maxD+1)/mlf < limit {
+				maxD++
+			}
+			for maxD >= 0 && sum+float64(maxD)/mlf >= limit {
+				maxD--
+			}
+		}
+		n++
+		var d int
+		if len(rw) == 0 {
+			d = len(word)
+		} else if len(word) == 0 {
+			d = len(rw)
+		} else {
+			diff := len(word) - len(rw)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > maxD {
+				d = maxD + 1
+			} else {
+				d = s.distanceBounded(word, rw, maxD)
+			}
+		}
+		if d > maxD {
+			return sum, n, true
+		}
+		sum += float64(d) / mlf
+	}
+	return sum, n, false
+}
+
+// wordInto converts f to its symbol sequence against the frozen table,
+// writing into the scratch buffer. Vectors absent from the references
+// get symbols from the scratch overlay map, which can never collide
+// with a frozen symbol. Symbol identity — not value — is all the edit
+// distance reads, so the result is exactly what a joint fresh interner
+// would produce.
+func (rs *RefSet) wordInto(s *scratch, f fingerprint.F) []int {
+	if cap(s.word) < len(f) {
+		s.word = make([]int, len(f))
+	}
+	out := s.word[:len(f)]
+	s.overlayPrune()
 	for i, v := range f {
-		if s, ok := rs.symbols[v]; ok {
-			out[i] = s
+		if sym, ok := rs.symbols[v]; ok {
+			out[i] = sym
 			continue
 		}
-		if s, ok := overlay[v]; ok {
-			out[i] = s
-			continue
-		}
-		if overlay == nil {
-			overlay = make(map[features.Vector]int, 8)
-		}
-		overlay[v] = next
-		out[i] = next
-		next++
+		out[i] = s.overlaySym(v)
 	}
 	return out
 }

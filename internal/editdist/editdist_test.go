@@ -1,6 +1,7 @@
 package editdist
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -270,9 +271,72 @@ func BenchmarkDiscriminatePerCallInterner(b *testing.B) {
 	}
 }
 
-// BenchmarkDiscriminateRefSet is the fixed hot path: references
-// interned once at build time, the candidate once per call.
+// typeF builds a fingerprint for one synthetic device type: an
+// unrelated base packet sequence per type seed, with nMut columns
+// perturbed to model capture-to-capture variation within the type.
+func typeF(typeSeed, n, nMut, mutSeed int) fingerprint.F {
+	rng := rand.New(rand.NewSource(int64(typeSeed)))
+	f := make(fingerprint.F, n)
+	for i := range f {
+		var v features.Vector
+		v[features.FeatSize] = float64(rng.Intn(12) * 60)
+		v[features.FeatSrcPortClass] = float64(rng.Intn(3))
+		f[i] = v
+	}
+	for m := 0; m < nMut && m < n; m++ {
+		i := (m*17 + mutSeed*5) % n
+		var v features.Vector
+		v[features.FeatSize] = float64(2000 + i*31 + mutSeed*7)
+		f[i] = v
+	}
+	return f
+}
+
+// discriminationPair is the production discrimination shape of Sect.
+// IV-B2: the candidate fingerprint belongs to type A (close to all of
+// A's references), and is also scored against sibling type B (an
+// unrelated packet sequence). Both types share one vocabulary, as in
+// core's shared feature-vector pass. Returns B's RefSet, the
+// candidate's pre-interned word, and the current-best bound A's exact
+// score established.
+func discriminationPair() (rsB *RefSet, word []int, best float64) {
+	voc := NewVocab()
+	refsA := make([]fingerprint.F, 5)
+	refsB := make([]fingerprint.F, 5)
+	for i := range refsA {
+		refsA[i] = typeF(1, 40, 1, i+1)
+		refsB[i] = typeF(2, 40, 1, i+1)
+	}
+	rsA := NewRefSetVocab(voc, refsA)
+	rsB = NewRefSetVocab(voc, refsB)
+	cand := typeF(1, 40, 1, 9)
+	word = voc.AppendWord(nil, cand)
+	best, _, _ = rsA.DistanceSumBoundedWord(word, 1e300)
+	return rsB, word, best
+}
+
+// BenchmarkDiscriminateRefSet is the production hot path of one
+// discrimination scoring call: the candidate is interned once per
+// identification, and every type after the first is scored under the
+// current best sum as its bound, abandoning as soon as it provably
+// cannot win. (The first, unbounded scoring with per-call interning is
+// BenchmarkDiscriminateRefSetExact.)
 func BenchmarkDiscriminateRefSet(b *testing.B) {
+	rsB, word, best := discriminationPair()
+	if _, _, pruned := rsB.DistanceSumBoundedWord(word, best); !pruned {
+		b.Fatalf("losing type not pruned (best=%v): benchmark setup drifted", best)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = rsB.DistanceSumBoundedWord(word, best)
+	}
+}
+
+// BenchmarkDiscriminateRefSetExact is the unbudgeted scoring (the
+// first candidate of every discrimination, and the old hot path for
+// all of them): every reference fully computed.
+func BenchmarkDiscriminateRefSetExact(b *testing.B) {
 	rs := NewRefSet([]fingerprint.F{mkF(40, 5), mkF(35, 9), mkF(40, 2), mkF(12, 7), mkF(28, 3)})
 	cand := mkF(40, 1)
 	b.ReportAllocs()

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"math"
+	"sync"
 )
 
 // Key is the canonical content hash of a Fingerprint, usable as a map
@@ -13,6 +14,11 @@ import (
 // would have produced for the probe.
 type Key [sha256.Size]byte
 
+// keyBufPool recycles the serialization buffer CanonicalKey hashes
+// over, so the steady-state cache-probe path never allocates. Pooling a
+// *[]byte (not a []byte) keeps the Put interface-boxing free.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // CanonicalKey hashes the fingerprint into its canonical Key. The hash
 // covers the full variable-length F sequence — not just F′ — because
 // the edit-distance discrimination stage reads F, so two fingerprints
@@ -21,29 +27,32 @@ type Key [sha256.Size]byte
 // little-endian order, with length prefixes so (say) a 2-vector F
 // cannot collide with a 1-vector F that happens to share a byte
 // boundary.
+//
+// The byte stream is assembled in a pooled buffer and hashed in one
+// sha256.Sum256 call: the digest never escapes, the per-word Write
+// overhead of a streaming hash is gone, and the resulting Key is
+// byte-identical to the retired streaming implementation (same stream,
+// same hash — pinned by the differential test in hash_test.go).
 func (fp *Fingerprint) CanonicalKey() Key {
-	h := sha256.New()
-	var b [8]byte
+	bp := keyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 
-	binary.LittleEndian.PutUint64(b[:], uint64(len(fp.F)))
-	h.Write(b[:])
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(fp.F)))
 	for _, v := range fp.F {
 		for _, f := range v {
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
-			h.Write(b[:])
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
 		}
 	}
 	// F′ and UniqueCount are pure functions of F, but hand-built
 	// Fingerprint values (deserialized, test fixtures) may disagree, so
 	// they are folded in defensively rather than assumed derivable.
 	for _, f := range fp.FPrime {
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
-		h.Write(b[:])
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
 	}
-	binary.LittleEndian.PutUint64(b[:], uint64(fp.UniqueCount))
-	h.Write(b[:])
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(fp.UniqueCount))
 
-	var k Key
-	h.Sum(k[:0])
+	k := Key(sha256.Sum256(buf))
+	*bp = buf
+	keyBufPool.Put(bp)
 	return k
 }

@@ -10,6 +10,7 @@ import (
 	"iotsentinel/internal/iotssp"
 	"iotsentinel/internal/packet"
 	"iotsentinel/internal/sdn"
+	"iotsentinel/internal/testutil"
 )
 
 // nopAssessor returns a fixed clean assessment so the benchmarks
@@ -65,3 +66,62 @@ func benchHandlePacket(b *testing.B, shards, queue int) {
 func BenchmarkHandlePacketSingleLock(b *testing.B) { benchHandlePacket(b, 1, 0) }
 
 func BenchmarkHandlePacketSharded(b *testing.B) { benchHandlePacket(b, 16, 256) }
+
+// steadyStateDevice runs one device through its full lifecycle — setup
+// capture, assessment, enforcement — and returns the gateway plus a
+// packet from the now-assessed device whose flow is installed in the
+// switch fast path. Repeating that packet is the gateway's steady
+// state: every long-lived device on a home network looks like this
+// within seconds of joining.
+func steadyStateDevice(tb testing.TB) (*Gateway, *packet.Packet, time.Time) {
+	tb.Helper()
+	g := benchGateway(1, 0)
+	mac := packet.MAC{0x02, 0xBE, 1, 2, 3, 4}
+	gwIP := netip.MustParseAddr("192.168.1.1")
+	devIP := netip.MustParseAddr("192.168.1.77")
+	pk := packet.NewUDP(mac, packet.MAC{2, 2, 2, 2, 2, 2}, devIP, gwIP, 40000, 53, []byte("q"))
+	base := time.Unix(8000, 0)
+	g.HandlePacket(base, pk)
+	if err := g.FinishSetup(mac, base.Add(time.Second)); err != nil {
+		tb.Fatalf("FinishSetup: %v", err)
+	}
+	info, ok := g.Device(mac)
+	if !ok || info.State != StateAssessed {
+		tb.Fatalf("device not assessed: %+v", info)
+	}
+	ts := base.Add(2 * time.Second)
+	if _, err := g.HandlePacket(ts, pk); err != nil { // install the flow
+		tb.Fatalf("HandlePacket: %v", err)
+	}
+	return g, pk, ts
+}
+
+// TestHandlePacketSteadyStateZeroAlloc pins the property the benchmark
+// above measures: once a device is assessed and its flow installed,
+// forwarding its packets allocates nothing — match, stats, monitoring
+// and enforcement included.
+func TestHandlePacketSteadyStateZeroAlloc(t *testing.T) {
+	g, pk, ts := steadyStateDevice(t)
+	defer g.Close()
+	testutil.AssertZeroAllocs(t, "HandlePacket/assessed-device", func() {
+		if _, err := g.HandlePacket(ts, pk); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkHandlePacketSteadyState measures the per-packet cost for an
+// assessed device with an installed flow — the path every packet after
+// a device's first few seconds takes, and the one that must stay
+// allocation-free.
+func BenchmarkHandlePacketSteadyState(b *testing.B) {
+	g, pk, ts := steadyStateDevice(b)
+	defer g.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.HandlePacket(ts, pk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

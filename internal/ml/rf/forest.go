@@ -96,7 +96,7 @@ func Train(x [][]float64, y []int, cfg Config) (*Forest, error) {
 		for i := range idx {
 			idx[i] = trng.Intn(n)
 		}
-		f.trees[t] = &Tree{root: growTree(x, y, idx, p, trng), nClasses: nClasses}
+		f.trees[t] = flatten(growTree(x, y, idx, p, trng), nClasses)
 	}
 	workers := cfg.Workers
 	if workers == 0 {
@@ -136,13 +136,27 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 // NumClasses returns the number of classes the forest was trained on.
 func (f *Forest) NumClasses() int { return f.nClasses }
 
-// Predict returns the majority-vote class for x.
+// maxStackClasses bounds the class count for which the alloc-free
+// prediction paths can keep their vote scratch on the stack.
+const maxStackClasses = 16
+
+// Predict returns the majority-vote class for x without allocating.
+// Ties resolve to the lowest class index, exactly as an argmax over
+// Proba would: dividing equal vote counts by the same tree count yields
+// equal quotients, so skipping the division cannot change the winner.
 func (f *Forest) Predict(x []float64) int {
-	probs := f.Proba(x)
-	best, bestP := 0, -1.0
-	for c, p := range probs {
-		if p > bestP {
-			best, bestP = c, p
+	var votesArr [maxStackClasses]int32
+	votes := votesArr[:f.nClasses:f.nClasses]
+	if f.nClasses > maxStackClasses {
+		votes = make([]int32, f.nClasses)
+	}
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestV := 0, int32(-1)
+	for c, v := range votes {
+		if v > bestV {
+			best, bestV = c, v
 		}
 	}
 	return best
@@ -150,19 +164,38 @@ func (f *Forest) Predict(x []float64) int {
 
 // Proba returns the per-class vote fractions for x.
 func (f *Forest) Proba(x []float64) []float64 {
-	votes := make([]float64, f.nClasses)
+	return f.ProbaInto(x, make([]float64, f.nClasses))
+}
+
+// ProbaInto writes the per-class vote fractions for x into out,
+// reusing its backing array when it has capacity, and returns the
+// slice. The computation (votes accumulated in tree order, one
+// division per class) is identical to Proba's, so results are
+// bit-identical.
+func (f *Forest) ProbaInto(x []float64, out []float64) []float64 {
+	out = sizedFloats(out, f.nClasses)
 	for _, t := range f.trees {
-		votes[t.Predict(x)]++
+		out[t.Predict(x)]++
 	}
-	for c := range votes {
-		votes[c] /= float64(len(f.trees))
+	for c := range out {
+		out[c] /= float64(len(f.trees))
 	}
-	return votes
+	return out
 }
 
 // PredictBatch classifies every row of xs.
 func (f *Forest) PredictBatch(xs [][]float64) []int {
-	out := make([]int, len(xs))
+	return f.PredictBatchInto(xs, make([]int, len(xs)))
+}
+
+// PredictBatchInto classifies every row of xs into out, reusing its
+// backing array when it has capacity, and returns the slice. With a
+// pre-sized out it performs zero allocations.
+func (f *Forest) PredictBatchInto(xs [][]float64, out []int) []int {
+	if cap(out) < len(xs) {
+		out = make([]int, len(xs))
+	}
+	out = out[:len(xs)]
 	for i, x := range xs {
 		out[i] = f.Predict(x)
 	}
@@ -175,22 +208,72 @@ func (f *Forest) PredictBatch(xs [][]float64) []int {
 // which matters for the one-vs-rest acceptance decision on sibling
 // device-types.
 func (f *Forest) SoftProba(x []float64) []float64 {
-	probs := make([]float64, f.nClasses)
+	return f.SoftProbaInto(x, make([]float64, f.nClasses))
+}
+
+// SoftProbaInto is SoftProba writing into out (reused when it has
+// capacity). Each tree's contribution comes from the leafProbs cache,
+// whose entries were divided from the exact operands the on-the-fly
+// computation used, and trees are accumulated in the same order — so
+// the averaged probabilities are bit-identical to SoftProba's since
+// the pointer-tree implementation.
+func (f *Forest) SoftProbaInto(x []float64, out []float64) []float64 {
+	out = sizedFloats(out, f.nClasses)
 	for _, t := range f.trees {
-		counts := t.leafCounts(x)
-		total := 0
-		for _, c := range counts {
-			total += c
-		}
-		if total == 0 {
+		n := &t.nodes[t.leafIndex(x)]
+		if n.total == 0 {
 			continue
 		}
-		for c, n := range counts {
-			probs[c] += float64(n) / float64(total)
+		probs := t.leafProbs[n.countsOff : int(n.countsOff)+t.nClasses]
+		for c, p := range probs {
+			out[c] += p
 		}
 	}
-	for c := range probs {
-		probs[c] /= float64(len(f.trees))
+	nt := float64(len(f.trees))
+	for c := range out {
+		out[c] /= nt
 	}
-	return probs
+	return out
+}
+
+// AcceptSoft reports whether SoftProba(x)[class] >= thr, deciding
+// early — without walking the remaining trees — as soon as the
+// accumulated probability mass provably pins the outcome. Each tree
+// contributes a value in [0, 1], so after t trees the final sum lies
+// in [partial, partial+(T-t)] up to accumulated rounding of order
+// T²·2⁻⁵³; the slack term dominates that comfortably for any
+// realistic ensemble size. When neither bound triggers, the exact
+// final comparison runs, so the decision is always bit-identical to
+// SoftProba's.
+func (f *Forest) AcceptSoft(x []float64, class int, thr float64) bool {
+	nt := float64(len(f.trees))
+	slack := 1e-9 * nt
+	acceptBound := thr*nt + slack
+	rejectBound := thr*nt - slack
+	partial := 0.0
+	for i, t := range f.trees {
+		n := &t.nodes[t.leafIndex(x)]
+		if n.total != 0 {
+			partial += t.leafProbs[n.countsOff+int32(class)]
+		}
+		if partial >= acceptBound {
+			return true
+		}
+		if partial+float64(len(f.trees)-1-i) < rejectBound {
+			return false
+		}
+	}
+	return partial/nt >= thr
+}
+
+// sizedFloats returns out resized to n (reusing capacity) and zeroed.
+func sizedFloats(out []float64, n int) []float64 {
+	if cap(out) < n {
+		return make([]float64, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
 }

@@ -9,14 +9,18 @@ package rf
 
 // FeatureImportance returns one weight per feature, normalized to sum
 // to 1 (all zeros when no tree ever split).
+//
+// The walk operates on the flat node arrays directly: a reverse-index
+// pass aggregates each node's class counts (preorder puts children
+// after their parent, so one sweep suffices), then gains are credited
+// in left-right post-order — the same order the recursive
+// pointer-walk implementation used, so the accumulated floats are
+// bit-identical (importance_test.go pins this against a reference
+// recursion).
 func (f *Forest) FeatureImportance(nFeatures int) []float64 {
 	imp := make([]float64, nFeatures)
 	for _, t := range f.trees {
-		total := rootTotal(t.root)
-		if total == 0 {
-			continue
-		}
-		accumulateImportance(t.root, imp, float64(total))
+		t.accumulateImportance(imp)
 	}
 	sum := 0.0
 	for _, v := range imp {
@@ -30,34 +34,62 @@ func (f *Forest) FeatureImportance(nFeatures int) []float64 {
 	return imp
 }
 
-// rootTotal counts the samples that reached the root by summing its
-// leaves (internal nodes do not store counts).
-func rootTotal(n *treeNode) int {
-	if n.isLeaf() {
-		return n.total
+func (t *Tree) accumulateImportance(imp []float64) {
+	nodes := t.nodes
+	// Pass 1 (reverse index order = children before parents): aggregate
+	// per-node class counts and totals bottom-up.
+	counts := make([][]int, len(nodes))
+	totals := make([]int, len(nodes))
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := &nodes[i]
+		if n.feature < 0 {
+			c := make([]int, t.nClasses)
+			for j := range c {
+				c[j] = int(t.leafCounts[n.countsOff+int32(j)])
+			}
+			counts[i], totals[i] = c, int(n.total)
+			continue
+		}
+		lc, rc := counts[n.left], counts[n.right]
+		c := make([]int, len(lc))
+		for j := range lc {
+			c[j] = lc[j] + rc[j]
+		}
+		counts[i], totals[i] = c, totals[n.left]+totals[n.right]
 	}
-	return rootTotal(n.left) + rootTotal(n.right)
-}
-
-// accumulateImportance walks the tree crediting weighted Gini gain.
-func accumulateImportance(n *treeNode, imp []float64, rootN float64) (counts []int, total int) {
-	if n.isLeaf() {
-		return n.counts, n.total
+	rootN := totals[0]
+	if rootN == 0 {
+		return
 	}
-	lc, ln := accumulateImportance(n.left, imp, rootN)
-	rc, rn := accumulateImportance(n.right, imp, rootN)
-	counts = make([]int, len(lc))
-	for i := range lc {
-		counts[i] = lc[i] + rc[i]
-	}
-	total = ln + rn
-	if total > 0 && n.feature >= 0 && n.feature < len(imp) {
-		parentGini := gini(counts, total)
-		childGini := weightedGini(lc, ln, rc, rn)
-		gain := parentGini - childGini
-		if gain > 0 {
-			imp[n.feature] += gain * float64(total) / rootN
+	// Pass 2: credit each split's weighted Gini gain in left-right
+	// post-order. The two-stack trick yields (parent, right-subtree,
+	// left-subtree); reversed, that is exactly (left, right, parent)
+	// post-order.
+	stack := make([]int32, 0, 64)
+	order := make([]int32, 0, len(nodes))
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, i)
+		if n := &nodes[i]; n.feature >= 0 {
+			stack = append(stack, n.left, n.right)
 		}
 	}
-	return counts, total
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		n := &nodes[i]
+		if n.feature < 0 {
+			continue
+		}
+		total := totals[i]
+		if total > 0 && int(n.feature) < len(imp) {
+			parentGini := gini(counts[i], total)
+			childGini := weightedGini(counts[n.left], totals[n.left], counts[n.right], totals[n.right])
+			gain := parentGini - childGini
+			if gain > 0 {
+				imp[n.feature] += gain * float64(total) / float64(rootN)
+			}
+		}
+	}
 }

@@ -1,0 +1,339 @@
+package rf
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"iotsentinel/internal/testutil"
+)
+
+// Differential oracles for the flat-array inference engine: the
+// pre-flattening pointer-node implementation lives on here, rebuilt
+// from the wire bytes the production Save emits, and every optimized
+// path is checked bit-for-bit against it. The wire format doubles as
+// the interface between the two implementations, so these tests also
+// pin that Save still emits everything the old engine needed.
+
+// refNode mirrors the retired pointer-chased treeNode.
+type refNode struct {
+	feature   int
+	threshold float64
+	left      *refNode
+	right     *refNode
+	counts    []int
+	total     int
+}
+
+type refTree struct{ root *refNode }
+
+type refForest struct {
+	trees    []*refTree
+	nClasses int
+}
+
+// refForestOf reconstructs the pointer representation of f from its
+// own serialized bytes, the way the pre-flattening Load did.
+func refForestOf(t *testing.T, f *Forest) *refForest {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var wf wireForest
+	if err := json.Unmarshal(buf.Bytes(), &wf); err != nil {
+		t.Fatalf("decode wire forest: %v", err)
+	}
+	rf := &refForest{nClasses: wf.NClasses}
+	for _, wt := range wf.Trees {
+		built := make([]*refNode, len(wt.Nodes))
+		for i, wn := range wt.Nodes {
+			built[i] = &refNode{
+				feature:   wn.Feature,
+				threshold: wn.Threshold,
+				counts:    wn.Counts,
+				total:     wn.Total,
+			}
+		}
+		for i, wn := range wt.Nodes {
+			if wn.Feature >= 0 {
+				built[i].left = built[wn.Left]
+				built[i].right = built[wn.Right]
+			}
+		}
+		rf.trees = append(rf.trees, &refTree{root: built[0]})
+	}
+	return rf
+}
+
+func (n *refNode) isLeaf() bool { return n.feature < 0 }
+
+func (t *refTree) leafOf(x []float64) *refNode {
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+func (t *refTree) predict(x []float64) int {
+	leaf := t.leafOf(x)
+	best, bestCount := 0, -1
+	for c, cnt := range leaf.counts {
+		if cnt > bestCount {
+			best, bestCount = c, cnt
+		}
+	}
+	return best
+}
+
+func (f *refForest) proba(x []float64) []float64 {
+	votes := make([]float64, f.nClasses)
+	for _, t := range f.trees {
+		votes[t.predict(x)]++
+	}
+	for c := range votes {
+		votes[c] /= float64(len(f.trees))
+	}
+	return votes
+}
+
+func (f *refForest) predict(x []float64) int {
+	probs := f.proba(x)
+	best, bestP := 0, -1.0
+	for c, p := range probs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+func (f *refForest) softProba(x []float64) []float64 {
+	probs := make([]float64, f.nClasses)
+	for _, t := range f.trees {
+		leaf := t.leafOf(x)
+		total := 0
+		for _, c := range leaf.counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for c, n := range leaf.counts {
+			probs[c] += float64(n) / float64(total)
+		}
+	}
+	for c := range probs {
+		probs[c] /= float64(len(f.trees))
+	}
+	return probs
+}
+
+func refDepth(n *refNode) int {
+	if n.isLeaf() {
+		return 0
+	}
+	l, r := refDepth(n.left), refDepth(n.right)
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// refImportance is the retired recursive mean-decrease-in-impurity
+// implementation, verbatim.
+func (f *refForest) importance(nFeatures int) []float64 {
+	imp := make([]float64, nFeatures)
+	for _, t := range f.trees {
+		total := refRootTotal(t.root)
+		if total == 0 {
+			continue
+		}
+		refAccumulate(t.root, imp, float64(total))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}
+
+func refRootTotal(n *refNode) int {
+	if n.isLeaf() {
+		return n.total
+	}
+	return refRootTotal(n.left) + refRootTotal(n.right)
+}
+
+func refAccumulate(n *refNode, imp []float64, rootN float64) (counts []int, total int) {
+	if n.isLeaf() {
+		return n.counts, n.total
+	}
+	lc, ln := refAccumulate(n.left, imp, rootN)
+	rc, rn := refAccumulate(n.right, imp, rootN)
+	counts = make([]int, len(lc))
+	for i := range lc {
+		counts[i] = lc[i] + rc[i]
+	}
+	total = ln + rn
+	if total > 0 && n.feature >= 0 && n.feature < len(imp) {
+		parentGini := gini(counts, total)
+		childGini := weightedGini(lc, ln, rc, rn)
+		gain := parentGini - childGini
+		if gain > 0 {
+			imp[n.feature] += gain * float64(total) / rootN
+		}
+	}
+	return counts, total
+}
+
+// oracleForests trains a few deterministic forests of varying shape.
+func oracleForests(t *testing.T) []*Forest {
+	t.Helper()
+	var out []*Forest
+	for _, cfg := range []Config{
+		{Trees: 7, MaxDepth: 6, Seed: 3, Workers: 1},
+		{Trees: 25, Seed: 44, Workers: 1},
+		{Trees: 3, MaxDepth: 2, MinLeaf: 5, Seed: 7, Workers: 1},
+	} {
+		x, y := twoBlobs(60, 3, cfg.Seed)
+		f, err := Train(x, y, cfg)
+		if err != nil {
+			t.Fatalf("Train(%+v): %v", cfg, err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func oracleProbes(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	probes := make([][]float64, n)
+	for i := range probes {
+		probes[i] = []float64{6 * rng.NormFloat64(), 6 * rng.NormFloat64()}
+	}
+	return probes
+}
+
+func TestFlatEngineMatchesPointerOracle(t *testing.T) {
+	for fi, f := range oracleForests(t) {
+		ref := refForestOf(t, f)
+		for pi, x := range oracleProbes(200, int64(100+fi)) {
+			if got, want := f.Predict(x), ref.predict(x); got != want {
+				t.Fatalf("forest %d probe %d: Predict = %d, oracle %d", fi, pi, got, want)
+			}
+			checkFloats(t, "Proba", f.Proba(x), ref.proba(x))
+			checkFloats(t, "SoftProba", f.SoftProba(x), ref.softProba(x))
+		}
+	}
+}
+
+func TestDepthMatchesOracle(t *testing.T) {
+	for fi, f := range oracleForests(t) {
+		ref := refForestOf(t, f)
+		for ti, tree := range f.trees {
+			if got, want := tree.Depth(), refDepth(ref.trees[ti].root); got != want {
+				t.Errorf("forest %d tree %d: Depth = %d, oracle %d", fi, ti, got, want)
+			}
+		}
+	}
+}
+
+func TestFeatureImportanceMatchesOracle(t *testing.T) {
+	for fi, f := range oracleForests(t) {
+		ref := refForestOf(t, f)
+		got := f.FeatureImportance(2)
+		want := ref.importance(2)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("forest %d: importance[%d] = %v, oracle %v (must be bit-identical)", fi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAcceptSoftMatchesSoftProba stresses the early-exit acceptance
+// against the exact decision, including thresholds placed exactly on
+// and one ulp around observed probabilities, where an unsound bound
+// would flip the outcome.
+func TestAcceptSoftMatchesSoftProba(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for fi, f := range oracleForests(t) {
+		for _, x := range oracleProbes(100, int64(500+fi)) {
+			probs := f.SoftProba(x)
+			for class := 0; class < f.NumClasses(); class++ {
+				p := probs[class]
+				thrs := []float64{
+					p, math.Nextafter(p, 2), math.Nextafter(p, -1),
+					0, 1, 0.5, rng.Float64(),
+				}
+				for _, thr := range thrs {
+					want := p >= thr
+					if got := f.AcceptSoft(x, class, thr); got != want {
+						t.Fatalf("forest %d class %d thr %v (p=%v): AcceptSoft = %v, want %v",
+							fi, class, thr, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPredictionPathsZeroAlloc(t *testing.T) {
+	x, y := twoBlobs(80, 4, 11)
+	f, err := Train(x, y, Config{Trees: 25, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	probe := []float64{1.5, 2.5}
+	batch := oracleProbes(64, 77)
+	out := make([]int, len(batch))
+	probs := make([]float64, f.NumClasses())
+
+	testutil.AssertZeroAllocs(t, "Predict", func() { f.Predict(probe) })
+	testutil.AssertZeroAllocs(t, "ProbaInto", func() { f.ProbaInto(probe, probs) })
+	testutil.AssertZeroAllocs(t, "SoftProbaInto", func() { f.SoftProbaInto(probe, probs) })
+	testutil.AssertZeroAllocs(t, "AcceptSoft", func() { f.AcceptSoft(probe, 1, 0.5) })
+	testutil.AssertZeroAllocs(t, "PredictBatchInto", func() { f.PredictBatchInto(batch, out) })
+}
+
+func BenchmarkPredictBatchInto(b *testing.B) {
+	x, y := twoBlobs(80, 4, 11)
+	f, err := Train(x, y, Config{Trees: 25, Seed: 5, Workers: 1})
+	if err != nil {
+		b.Fatalf("Train: %v", err)
+	}
+	batch := oracleProbes(64, 77)
+	out := make([]int, len(batch))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatchInto(batch, out)
+	}
+}
+
+func BenchmarkAcceptSoft(b *testing.B) {
+	x, y := twoBlobs(80, 4, 11)
+	f, err := Train(x, y, Config{Trees: 25, Seed: 5, Workers: 1})
+	if err != nil {
+		b.Fatalf("Train: %v", err)
+	}
+	probe := []float64{1.5, 2.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AcceptSoft(probe, 1, 0.5)
+	}
+}

@@ -4,11 +4,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Wire format for trained forests: a flat node array per tree, with
 // child pointers as indices. Index -1 marks "no child". The format is
 // versioned so future changes stay loadable.
+//
+// The wire layout is the same preorder flat array the runtime uses
+// (tree.go), so Save is a field-by-field transcription and Load
+// validates the array in place — no pointer tree is ever rebuilt. The
+// emitted JSON is byte-identical to what the pointer-node
+// implementation wrote (golden_test.go pins this), keeping models
+// saved by earlier versions loadable and their store manifests stable.
 
 const wireVersion = 1
 
@@ -39,7 +47,25 @@ func (f *Forest) Save(w io.Writer) error {
 		Trees:    make([]wireTree, len(f.trees)),
 	}
 	for i, t := range f.trees {
-		wf.Trees[i] = flattenTree(t)
+		nodes := make([]wireNode, len(t.nodes))
+		for j := range t.nodes {
+			n := &t.nodes[j]
+			if n.feature < 0 {
+				counts := make([]int, t.nClasses)
+				for c := range counts {
+					counts[c] = int(t.leafCounts[n.countsOff+int32(c)])
+				}
+				nodes[j] = wireNode{Feature: -1, Left: -1, Right: -1, Counts: counts, Total: int(n.total)}
+				continue
+			}
+			nodes[j] = wireNode{
+				Feature:   int(n.feature),
+				Threshold: n.threshold,
+				Left:      int(n.left),
+				Right:     int(n.right),
+			}
+		}
+		wf.Trees[i] = wireTree{Nodes: nodes}
 	}
 	if err := json.NewEncoder(w).Encode(wf); err != nil {
 		return fmt.Errorf("rf: save: %w", err)
@@ -64,56 +90,33 @@ func Load(r io.Reader) (*Forest, error) {
 	}
 	f := &Forest{nClasses: wf.NClasses, trees: make([]*Tree, len(wf.Trees))}
 	for i, wt := range wf.Trees {
-		root, err := rebuildTree(wt.Nodes, wf.NClasses)
+		t, err := buildTree(wt.Nodes, wf.NClasses)
 		if err != nil {
 			return nil, fmt.Errorf("rf: load: tree %d: %w", i, err)
 		}
-		f.trees[i] = &Tree{root: root, nClasses: wf.NClasses}
+		f.trees[i] = t
 	}
 	return f, nil
 }
 
-// flattenTree serializes a tree's nodes in preorder.
-func flattenTree(t *Tree) wireTree {
-	var nodes []wireNode
-	var visit func(n *treeNode) int
-	visit = func(n *treeNode) int {
-		idx := len(nodes)
-		nodes = append(nodes, wireNode{Feature: -1, Left: -1, Right: -1})
-		if n.isLeaf() {
-			nodes[idx].Counts = n.counts
-			nodes[idx].Total = n.total
-			return idx
-		}
-		nodes[idx].Feature = n.feature
-		nodes[idx].Threshold = n.threshold
-		nodes[idx].Left = visit(n.left)
-		nodes[idx].Right = visit(n.right)
-		return idx
-	}
-	visit(t.root)
-	return wireTree{Nodes: nodes}
-}
-
-// rebuildTree reconstructs node pointers from the flat array. The
-// input is untrusted (a model file from disk), so every structural
-// property Predict relies on is checked: child indices in bounds and
-// strictly forward (no self references, no cycles), every node with
-// exactly one parent (no DAG sharing) and reachable from the root (no
-// orphans), and leaf counts non-negative with a consistent total.
-func rebuildTree(nodes []wireNode, nClasses int) (*treeNode, error) {
+// buildTree validates the flat wire array and converts it into the
+// runtime layout. The input is untrusted (a model file from disk), so
+// every structural property the index walk relies on is checked: child
+// indices in bounds and strictly forward (no self references, no
+// cycles), every node with exactly one parent (no DAG sharing) and
+// reachable from the root (no orphans), and leaf counts non-negative
+// with a consistent total. Because runtime and wire share the preorder
+// layout, validation is a pair of linear passes — no recursive rebuild,
+// so a hostile deep tree cannot blow the stack.
+func buildTree(nodes []wireNode, nClasses int) (*Tree, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("empty node array")
 	}
-	built := make([]*treeNode, len(nodes))
-	// Two passes: allocate and check shapes, then link.
+	if len(nodes) > math.MaxInt32 {
+		return nil, fmt.Errorf("node array too large (%d nodes)", len(nodes))
+	}
+	t := &Tree{nClasses: nClasses, nodes: make([]flatNode, len(nodes))}
 	for i, wn := range nodes {
-		built[i] = &treeNode{
-			feature:   wn.Feature,
-			threshold: wn.Threshold,
-			counts:    wn.Counts,
-			total:     wn.Total,
-		}
 		if wn.Feature < 0 {
 			if len(wn.Counts) != nClasses {
 				return nil, fmt.Errorf("node %d: leaf has %d class counts, want %d", i, len(wn.Counts), nClasses)
@@ -128,6 +131,29 @@ func rebuildTree(nodes []wireNode, nClasses int) (*treeNode, error) {
 			if wn.Total != sum {
 				return nil, fmt.Errorf("node %d: total %d, class counts sum to %d", i, wn.Total, sum)
 			}
+			if wn.Total > math.MaxInt32 {
+				return nil, fmt.Errorf("node %d: total %d overflows", i, wn.Total)
+			}
+			t.nodes[i] = flatNode{
+				feature:   -1,
+				left:      -1,
+				right:     -1,
+				countsOff: int32(len(t.leafCounts)),
+				total:     int32(wn.Total),
+			}
+			for _, n := range wn.Counts {
+				t.leafCounts = append(t.leafCounts, int32(n))
+			}
+			continue
+		}
+		if wn.Feature > math.MaxInt32 {
+			return nil, fmt.Errorf("node %d: feature index %d overflows", i, wn.Feature)
+		}
+		t.nodes[i] = flatNode{
+			feature:   int32(wn.Feature),
+			threshold: wn.Threshold,
+			left:      int32(wn.Left),
+			right:     int32(wn.Right),
 		}
 	}
 	parents := make([]int, len(nodes))
@@ -142,8 +168,6 @@ func rebuildTree(nodes []wireNode, nClasses int) (*treeNode, error) {
 		}
 		parents[wn.Left]++
 		parents[wn.Right]++
-		built[i].left = built[wn.Left]
-		built[i].right = built[wn.Right]
 	}
 	// A well-formed tree references every node except the root exactly
 	// once: a second parent would alias subtrees, an unreferenced node
@@ -156,7 +180,8 @@ func rebuildTree(nodes []wireNode, nClasses int) (*treeNode, error) {
 			return nil, fmt.Errorf("node %d has %d parents, want 1", i, parents[i])
 		}
 	}
-	return built[0], nil
+	t.buildLeafProbs()
+	return t, nil
 }
 
 // ValidateFeatures checks that every split in the forest tests a
@@ -166,22 +191,11 @@ func rebuildTree(nodes []wireNode, nClasses int) (*treeNode, error) {
 // invoke this after Load.
 func (f *Forest) ValidateFeatures(n int) error {
 	for ti, t := range f.trees {
-		if err := validateNodeFeatures(t.root, n); err != nil {
-			return fmt.Errorf("rf: tree %d: %w", ti, err)
+		for i := range t.nodes {
+			if fe := t.nodes[i].feature; fe >= 0 && int(fe) >= n {
+				return fmt.Errorf("rf: tree %d: split on feature %d, vectors have %d", ti, fe, n)
+			}
 		}
 	}
 	return nil
-}
-
-func validateNodeFeatures(nd *treeNode, n int) error {
-	if nd.isLeaf() {
-		return nil
-	}
-	if nd.feature >= n {
-		return fmt.Errorf("split on feature %d, vectors have %d", nd.feature, n)
-	}
-	if err := validateNodeFeatures(nd.left, n); err != nil {
-		return err
-	}
-	return validateNodeFeatures(nd.right, n)
 }

@@ -3,6 +3,15 @@
 // from scratch on the standard library. It is the classification
 // substrate behind IoT Sentinel's one-classifier-per-device-type design
 // (Sect. IV-B1), replacing the Weka implementation the paper used.
+//
+// Inference runs on a flat node layout: each tree is one contiguous
+// []flatNode array in preorder, walked by index. Compared to the
+// pointer-chased node graph it replaced, the flat walk touches one
+// cache-resident array instead of scattered heap objects, allocates
+// nothing, and makes the preorder serialization (serialize.go) a direct
+// transcription instead of a recursive rebuild. Training still grows
+// pointer nodes (the builder needs cheap splicing) and flattens once at
+// the end.
 package rf
 
 import (
@@ -12,7 +21,9 @@ import (
 	"sort"
 )
 
-// treeNode is one node of a CART tree. Leaves have feature == -1.
+// treeNode is one node of a CART tree during induction. Leaves have
+// feature == -1. The builder representation only: trained trees are
+// flattened into Tree.nodes before they ever classify anything.
 type treeNode struct {
 	feature   int
 	threshold float64
@@ -25,10 +36,36 @@ type treeNode struct {
 
 func (n *treeNode) isLeaf() bool { return n.feature < 0 }
 
-// Tree is a single CART decision tree.
+// flatNode is one node of a trained tree in the flat array layout.
+// Internal nodes use feature/threshold/left/right; leaves (feature < 0)
+// use countsOff/total, with their per-class sample counts stored at
+// Tree.leafCounts[countsOff : countsOff+nClasses].
+type flatNode struct {
+	feature   int32
+	left      int32
+	right     int32
+	countsOff int32
+	total     int32
+	threshold float64
+}
+
+// Tree is a single trained CART decision tree in flat-array form. The
+// nodes are stored in preorder (node, left subtree, right subtree), so
+// both children of node i sit at indices > i — the invariant the
+// loader's structural validation and the iterative walks rely on.
 type Tree struct {
-	root     *treeNode
-	nClasses int
+	nodes []flatNode
+	// leafCounts concatenates every leaf's per-class sample counts
+	// (nClasses entries per leaf, addressed by flatNode.countsOff).
+	leafCounts []int32
+	// leafProbs caches float64(count)/float64(total) for every
+	// leafCounts entry (zero where total == 0), so the probability-
+	// averaging hot path does no division per tree walk. The quotients
+	// are computed once with the exact same operands the old
+	// per-prediction division used, so averaged probabilities are
+	// bit-identical.
+	leafProbs []float64
+	nClasses  int
 }
 
 // treeParams controls tree induction.
@@ -69,6 +106,51 @@ func growNode(x [][]float64, y []int, idx []int, p treeParams, rng *rand.Rand, d
 		threshold: thr,
 		left:      growNode(x, y, left, p, rng, depth+1),
 		right:     growNode(x, y, right, p, rng, depth+1),
+	}
+}
+
+// flatten converts a freshly grown pointer tree into its flat preorder
+// form. The traversal order matches the wire format of serialize.go
+// exactly, so a flattened tree serializes by direct transcription.
+func flatten(root *treeNode, nClasses int) *Tree {
+	t := &Tree{nClasses: nClasses}
+	var visit func(n *treeNode) int32
+	visit = func(n *treeNode) int32 {
+		idx := int32(len(t.nodes))
+		t.nodes = append(t.nodes, flatNode{feature: -1, left: -1, right: -1})
+		if n.isLeaf() {
+			t.nodes[idx].countsOff = int32(len(t.leafCounts))
+			t.nodes[idx].total = int32(n.total)
+			for _, c := range n.counts {
+				t.leafCounts = append(t.leafCounts, int32(c))
+			}
+			return idx
+		}
+		t.nodes[idx].feature = int32(n.feature)
+		t.nodes[idx].threshold = n.threshold
+		t.nodes[idx].left = visit(n.left)
+		t.nodes[idx].right = visit(n.right)
+		return idx
+	}
+	visit(root)
+	t.buildLeafProbs()
+	return t
+}
+
+// buildLeafProbs populates the precomputed per-leaf class probabilities
+// from leafCounts. Called once per tree at train or load time.
+func (t *Tree) buildLeafProbs() {
+	t.leafProbs = make([]float64, len(t.leafCounts))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if n.feature >= 0 || n.total == 0 {
+			continue
+		}
+		off := n.countsOff
+		total := float64(n.total)
+		for c := int32(0); c < int32(t.nClasses); c++ {
+			t.leafProbs[off+c] = float64(t.leafCounts[off+c]) / total
+		}
 	}
 }
 
@@ -159,43 +241,63 @@ func weightedGini(l []int, nl int, r []int, nr int) float64 {
 	return float64(nl)/n*gini(l, nl) + float64(nr)/n*gini(r, nr)
 }
 
+// leafIndex walks x down the flat node array and returns the index of
+// the leaf it lands in. The walk is allocation-free and touches only
+// the contiguous nodes slice.
+func (t *Tree) leafIndex(x []float64) int32 {
+	nodes := t.nodes
+	i := int32(0)
+	for {
+		n := &nodes[i]
+		if n.feature < 0 {
+			return i
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
 // Predict returns the majority class at the leaf x falls into.
 func (t *Tree) Predict(x []float64) int {
-	counts := t.leafCounts(x)
-	best, bestCount := 0, -1
-	for c, n := range counts {
-		if n > bestCount {
-			best, bestCount = c, n
+	n := &t.nodes[t.leafIndex(x)]
+	// One sub-slice, then range: the bounds check happens once at the
+	// slicing instead of on every class.
+	counts := t.leafCounts[n.countsOff : int(n.countsOff)+t.nClasses]
+	best, bestCount := 0, int32(-1)
+	for c, cnt := range counts {
+		if cnt > bestCount {
+			best, bestCount = c, cnt
 		}
 	}
 	return best
 }
 
-func (t *Tree) leafCounts(x []float64) []int {
-	n := t.root
-	for !n.isLeaf() {
-		if x[n.feature] <= n.threshold {
-			n = n.left
-		} else {
-			n = n.right
+// Depth returns the depth of the tree (a single leaf has depth 0). The
+// preorder layout puts both children after their parent, so one reverse
+// pass computes every node's subtree depth before its parent reads it —
+// no recursion over a (possibly adversarial, loaded-from-disk) tree
+// shape.
+func (t *Tree) Depth() int {
+	depths := make([]int, len(t.nodes))
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			continue
 		}
+		d := depths[n.left]
+		if r := depths[n.right]; r > d {
+			d = r
+		}
+		depths[i] = d + 1
 	}
-	return n.counts
+	return depths[0]
 }
 
-// Depth returns the depth of the tree (a single leaf has depth 0).
-func (t *Tree) Depth() int { return nodeDepth(t.root) }
-
-func nodeDepth(n *treeNode) int {
-	if n.isLeaf() {
-		return 0
-	}
-	l, r := nodeDepth(n.left), nodeDepth(n.right)
-	if l > r {
-		return l + 1
-	}
-	return r + 1
-}
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
 
 // TrainTree builds a single CART tree on the full dataset; exported for
 // tests and for the forest-size ablation's single-tree baseline.
@@ -215,7 +317,7 @@ func TrainTree(x [][]float64, y []int, maxDepth, minLeaf int, seed int64) (*Tree
 		nClasses:    nClasses,
 	}
 	rng := rand.New(rand.NewSource(seed))
-	return &Tree{root: growNode(x, y, idx, p, rng, 0), nClasses: nClasses}, nil
+	return flatten(growNode(x, y, idx, p, rng, 0), nClasses), nil
 }
 
 func validate(x [][]float64, y []int) (nClasses int, err error) {

@@ -1,6 +1,7 @@
 package sdn
 
 import (
+	"net/netip"
 	"sort"
 	"sync"
 	"time"
@@ -31,7 +32,11 @@ type TrafficMonitor struct {
 type deviceAccum struct {
 	DeviceStats
 
-	dsts map[string]struct{}
+	// dsts is keyed by the address value, not its string form:
+	// netip.Addr is comparable, and rendering a string per observed
+	// packet was the one allocation left on the assessed-device data
+	// path.
+	dsts map[netip.Addr]struct{}
 }
 
 // NewTrafficMonitor returns an empty monitor.
@@ -47,7 +52,7 @@ func (m *TrafficMonitor) Observe(pk *packet.Packet, action Action, now time.Time
 	if !ok {
 		acc = &deviceAccum{
 			DeviceStats: DeviceStats{MAC: pk.SrcMAC, FirstSeen: now},
-			dsts:        make(map[string]struct{}),
+			dsts:        make(map[netip.Addr]struct{}),
 		}
 		m.stats[pk.SrcMAC] = acc
 	}
@@ -58,7 +63,7 @@ func (m *TrafficMonitor) Observe(pk *packet.Packet, action Action, now time.Time
 		acc.Dropped++
 	}
 	if pk.DstIP.IsValid() {
-		acc.dsts[pk.DstIP.String()] = struct{}{}
+		acc.dsts[pk.DstIP] = struct{}{}
 		acc.Destinations = len(acc.dsts)
 	}
 }

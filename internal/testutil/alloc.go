@@ -1,0 +1,31 @@
+// Package testutil holds small helpers shared by the repo's test
+// suites. It must only be imported from _test.go files.
+package testutil
+
+import "testing"
+
+// AssertZeroAllocs asserts that fn performs zero heap allocations per
+// run, guarding the zero-alloc guarantees of the inference hot paths
+// (rf prediction, edit-distance discrimination, Identify, HandlePacket)
+// against regressions. Under the race detector the assertion is
+// skipped: race instrumentation inserts its own allocations, so counts
+// there say nothing about the production binary.
+func AssertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	AssertAllocs(t, name, 0, fn)
+}
+
+// AssertAllocs asserts that fn performs at most max heap allocations
+// per run (skipped under -race, as above).
+func AssertAllocs(t *testing.T, name string, max float64, fn func()) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skipf("%s: allocation counts are not meaningful under -race", name)
+	}
+	// Warm-up run lets lazily grown scratch (pools, cache nodes) reach
+	// steady state before counting.
+	fn()
+	if avg := testing.AllocsPerRun(100, fn); avg > max {
+		t.Errorf("%s: %.1f allocs/op, want <= %v", name, avg, max)
+	}
+}
