@@ -1,9 +1,11 @@
 # IoT Sentinel build/test entry points. `make verify` is the tier-1
 # gate (vet + gofmt check + build + shuffled full test suite + a short
-# -race pass over the gateway, durable store and metrics registry + the
-# crash fault-injection sweep + a short fuzz pass over the capture
-# readers and the model deserializer); `make test-race` covers the
-# concurrent classifier bank, gateway and enforcement plane in full;
+# -race pass over the gateway, online learner, durable store and
+# metrics registry + the crash fault-injection sweep + a short fuzz
+# pass over the capture readers, the model deserializer and the
+# cluster-linkage input); `make test-race` covers the concurrent
+# classifier bank, gateway, online learner and enforcement plane in
+# full;
 # `make fuzz` runs each fuzz target for FUZZTIME; `make crash` runs the
 # journal truncation/corruption sweeps and restart differential tests;
 # `make bench` runs every paper-table benchmark plus the parallel
@@ -35,7 +37,7 @@ fmt-check:
 
 verify: vet fmt-check build
 	$(GO) test -shuffle=on ./...
-	$(GO) test -race -count=1 ./internal/gateway/... ./internal/obs/... ./internal/store/...
+	$(GO) test -race -count=1 ./internal/gateway/... ./internal/learn/... ./internal/obs/... ./internal/store/...
 	$(MAKE) crash
 	$(MAKE) fuzz
 
@@ -49,13 +51,14 @@ test: vet build
 	$(GO) test -shuffle=on ./...
 
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/gateway/... ./internal/sdn/... ./internal/iotssp/...
+	$(GO) test -race ./internal/core/... ./internal/gateway/... ./internal/iotssp/... ./internal/learn/... ./internal/sdn/...
 
 fuzz:
 	$(GO) test -fuzz='^FuzzReadPcap$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
 	$(GO) test -fuzz='^FuzzReadPcapNG$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
 	$(GO) test -fuzz='^FuzzLoad$$' -fuzztime=$(FUZZTIME) ./internal/ml/rf/
 	$(GO) test -fuzz='^FuzzBandedDistance$$' -fuzztime=$(FUZZTIME) ./internal/editdist/
+	$(GO) test -fuzz='^FuzzClusterLinkage$$' -fuzztime=$(FUZZTIME) ./internal/learn/
 
 # The crash fault-injection sweep: journal torn-tail truncation at
 # every byte, single-byte corruption at every byte, snapshot damage,
@@ -82,7 +85,7 @@ bench-json:
 # sub-microsecond non-serving benchmarks (packet codecs, convenience
 # APIs, device-churn stress loops) swing far past any sane threshold
 # with host load, and training is a one-time boot cost.
-BENCH_GATE ?= ^(core\.(IdentifySteadyState|IdentifyBatchSteadyState|IdentifyCacheHit)|editdist\.DiscriminateRefSet|fingerprint\.CanonicalKey|gateway\.HandlePacketSteadyState|rf\.(PredictBatchInto|AcceptSoft)|iotsentinel\.(ClassifySingle|TypeIdentification))$$
+BENCH_GATE ?= ^(core\.(IdentifySteadyState|IdentifyBatchSteadyState|IdentifyCacheHit|IdentifyWarmBootCached)|editdist\.DiscriminateRefSet|fingerprint\.CanonicalKey|gateway\.HandlePacketSteadyState|rf\.(PredictBatchInto|AcceptSoft)|iotsentinel\.(ClassifySingle|TypeIdentification))$$
 
 bench-check:
 	$(GO) run ./cmd/benchreport -delta . -delta-gate '$(BENCH_GATE)'

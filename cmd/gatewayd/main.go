@@ -42,6 +42,7 @@ import (
 	"iotsentinel/internal/fingerprint"
 	"iotsentinel/internal/gateway"
 	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/learn"
 	"iotsentinel/internal/obs"
 	"iotsentinel/internal/packet"
 	"iotsentinel/internal/pcap"
@@ -74,6 +75,8 @@ func run(args []string, out io.Writer) error {
 		shards        = fs.Int("shards", gateway.DefaultShards, "device-state shards (rounded up to a power of two)")
 		cacheSize     = fs.Int("cache-size", core.DefaultCacheSize, "identification-cache entries for the in-process service (0 = disabled)")
 		stateDir      = fs.String("state-dir", "", "directory for the durable journal, snapshots, and model store (default: in-memory only)")
+		learnOn       = fs.Bool("learn", false, "learn new device-types online from clusters of unknown devices (in-process service only)")
+		learnK        = fs.Int("learn-k", learn.DefaultK, "unknown-cluster size that proposes a new device-type")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,13 +112,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// Online learning: unknown fingerprints flow from the gateway's
+	// assessment path into the clusterer; promoted types hot-swap into
+	// the in-process service and persist to the model store.
+	learner, err := buildLearner(out, reg, st, svc, *learnOn, *learnK)
+	if err != nil {
+		return err
+	}
+	if learner != nil {
+		defer learner.Close()
+	}
+
 	cache := sdn.NewRuleCache()
 	ctrl := sdn.NewController(cache, mustPrefix())
 	sw := sdn.NewSwitch(ctrl, 30*time.Second)
 	if reg != nil {
 		sw.SetMetrics(sdn.NewSwitchMetrics(reg))
 	}
-	gw := gateway.New(assessor, sw, gateway.Config{
+	gwCfg := gateway.Config{
 		Shards:  *shards,
 		Metrics: gwMetrics,
 		Store:   st,
@@ -131,13 +146,25 @@ func run(args []string, out io.Writer) error {
 		OnQuarantined: func(d gateway.DeviceInfo, cause error) {
 			fmt.Fprintf(out, "quarantined %v (strict, attempt %d): %v\n", d.MAC, d.AssessAttempts, cause)
 		},
-	})
+	}
+	if learner != nil {
+		gwCfg.OnUnknown = func(_ gateway.DeviceInfo, fp fingerprint.Fingerprint) { learner.Observe(fp) }
+		gwCfg.LearnState = learner.SnapshotState
+	}
+	gw := gateway.New(assessor, sw, gwCfg)
 	if st != nil {
 		stats, err := gw.Recover(rec, time.Now())
 		if err != nil {
 			return fmt.Errorf("recover: %w", err)
 		}
 		fmt.Fprintf(out, "state: recovered %s\n", stats)
+		if learner != nil {
+			lstats, err := learner.Recover(rec)
+			if err != nil {
+				return fmt.Errorf("learn recover: %w", err)
+			}
+			fmt.Fprintf(out, "learn: recovered %s\n", lstats)
+		}
 		// Graceful teardown, registered before the workers so it runs
 		// after their deferred Shutdowns: drain the assessment pipeline,
 		// checkpoint, close the journal.
@@ -162,15 +189,9 @@ func run(args []string, out io.Writer) error {
 		defer signal.Stop(hup)
 		go func() {
 			for range hup {
-				id, man, err := st.Models().Load()
-				if err == nil {
-					err = svc.ReplaceIdentifier(id)
-				}
-				if err != nil {
+				if err := reloadModel(out, st, svc, *workers, *cacheSize); err != nil {
 					fmt.Fprintf(out, "state: model reload rejected, keeping current bank: %v\n", err)
-					continue
 				}
-				fmt.Fprintf(out, "state: model bank hot-reloaded (%d types, sha256 %.8s)\n", man.Types, man.SHA256)
 			}
 		}()
 	}
@@ -178,6 +199,12 @@ func run(args []string, out io.Writer) error {
 	if *replayDir != "" {
 		if err := replay(out, gw, *replayDir); err != nil {
 			return err
+		}
+		if learner != nil {
+			// Let replay-triggered clustering and promotions settle so a
+			// -oneshot exit (and its checkpoint) captures what the replay
+			// taught us.
+			learner.Wait()
 		}
 	}
 	if *oneshot {
@@ -273,7 +300,11 @@ func buildAssessor(out io.Writer, reg *obs.Registry, st *store.Store, sspURL str
 
 // loadOrTrain is the warm-boot path: a valid persisted model loads in
 // milliseconds; anything else (cold start, checksum mismatch, stale
-// format) falls back to training and re-persists.
+// format) falls back to training and re-persists. Either way the
+// runtime knobs — worker pool and identification cache — are applied
+// to the bank that will serve: they are deployment configuration, not
+// model state, so the persisted form deliberately does not carry them
+// and every load site must re-apply them.
 func loadOrTrain(out io.Writer, st *store.Store, captures int, seed int64, workers, cacheSize int) (*core.Identifier, error) {
 	var ms *store.ModelStore
 	if st != nil {
@@ -282,6 +313,9 @@ func loadOrTrain(out io.Writer, st *store.Store, captures int, seed int64, worke
 			start := time.Now()
 			id, man, err := ms.Load()
 			if err == nil {
+				if err := id.ApplyRuntime(workers, cacheSize); err != nil {
+					return nil, err
+				}
 				fmt.Fprintf(out, "state: loaded model bank from disk in %v (%d types, sha256 %.8s)\n",
 					time.Since(start).Round(time.Millisecond), man.Types, man.SHA256)
 				return id, nil
@@ -308,6 +342,69 @@ func loadOrTrain(out io.Writer, st *store.Store, captures int, seed int64, worke
 		}
 	}
 	return id, nil
+}
+
+// reloadModel is the SIGHUP hot-reload path: revalidate the on-disk
+// bank (checksum + structural load), re-apply the runtime knobs — the
+// persisted form carries no worker pool and no cache, so skipping this
+// would silently swap in an uncached single-threaded bank — and swap
+// it into the service. The cache attached here is fresh and empty:
+// entries from the outgoing bank must not answer for the new one.
+func reloadModel(out io.Writer, st *store.Store, svc *iotssp.Service, workers, cacheSize int) error {
+	id, man, err := st.Models().Load()
+	if err != nil {
+		return err
+	}
+	if err := id.ApplyRuntime(workers, cacheSize); err != nil {
+		return err
+	}
+	// Carry the outgoing bank's metrics bundle: counter series must
+	// continue across the swap, not silently stop.
+	id.SetMetrics(svc.Identifier().Metrics())
+	if err := svc.ReplaceIdentifier(id); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "state: model bank hot-reloaded (%d types, sha256 %.8s)\n", man.Types, man.SHA256)
+	return nil
+}
+
+// buildLearner wires the online-learning subsystem when -learn is set:
+// promotions train on a clone of the serving bank and hot-swap through
+// the service, the journal records cluster growth, and the model store
+// persists each promoted bank so the next boot serves the learned
+// types warm.
+func buildLearner(out io.Writer, reg *obs.Registry, st *store.Store, svc *iotssp.Service, enabled bool, k int) (*learn.Learner, error) {
+	if !enabled {
+		return nil, nil
+	}
+	if svc == nil {
+		return nil, fmt.Errorf("-learn requires the in-process service (remove -ssp)")
+	}
+	cfg := learn.Config{
+		K: k,
+		Promote: func(t core.TypeID, fps []fingerprint.Fingerprint) (*core.Identifier, error) {
+			return svc.PromoteType(t, fps, iotssp.PromoteOptions{})
+		},
+		Known: svc.HasType,
+		Store: st,
+		Logf:  func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) },
+	}
+	if reg != nil {
+		cfg.Metrics = learn.NewMetrics(reg)
+	}
+	if st != nil {
+		ms := st.Models()
+		cfg.Persist = func(id *core.Identifier) error {
+			_, err := ms.Save(id)
+			return err
+		}
+	}
+	l, err := learn.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "learn: online device-type learning enabled (k=%d)\n", cfg.K)
+	return l, nil
 }
 
 // metricsMux serves the observability endpoints: Prometheus-text

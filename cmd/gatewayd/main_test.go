@@ -14,6 +14,8 @@ import (
 	"iotsentinel/internal/devices"
 	"iotsentinel/internal/fingerprint"
 	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/obs"
+	"iotsentinel/internal/store"
 	"iotsentinel/internal/vulndb"
 )
 
@@ -164,5 +166,247 @@ func TestGatewaydWarmBootFromStateDir(t *testing.T) {
 func TestGatewaydBadReplayDir(t *testing.T) {
 	if err := run([]string{"-replay", "/nonexistent-dir-xyz", "-oneshot", "-captures", "4"}, &bytes.Buffer{}); err == nil {
 		t.Error("bad replay dir must fail")
+	}
+}
+
+// smallBank trains a compact bank for store-path tests.
+func smallBank(t *testing.T, cfg core.Config) *core.Identifier {
+	t.Helper()
+	raw := devices.GenerateDataset(8, 7)
+	ds := make(map[core.TypeID][]fingerprint.Fingerprint)
+	for _, typ := range []string{"Aria", "HueBridge", "EdnetCam"} {
+		ds[core.TypeID(typ)] = raw[typ]
+	}
+	id, err := core.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func probeFor(t *testing.T, typ string) fingerprint.Fingerprint {
+	t.Helper()
+	p, err := devices.ProfileByID(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint.FromPackets(devices.GenerateCaptures(p, 1, 41)[0].Packets)
+}
+
+// TestWarmBootAttachesCache is the regression test for the warm-boot
+// half of the ISSUE: ModelStore.Load returns a bank without runtime
+// configuration, and loadOrTrain used to hand it to the service as-is
+// — no worker pool, no identification cache. The warm path must
+// re-apply both, and must honor the "0 = disabled" flag contract.
+func TestWarmBootAttachesCache(t *testing.T) {
+	st, _, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	if _, err := st.Models().Save(smallBank(t, core.Config{Seed: 2})); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	id, err := loadOrTrain(&out, st, 8, 2, 2, 64)
+	if err != nil {
+		t.Fatalf("loadOrTrain: %v", err)
+	}
+	if !strings.Contains(out.String(), "loaded model bank from disk") {
+		t.Fatalf("expected the warm path, got:\n%s", out.String())
+	}
+	if id.Cache() == nil {
+		t.Fatal("warm boot left the bank without an identification cache")
+	}
+	fp := probeFor(t, "Aria")
+	id.Identify(fp)
+	id.Identify(fp)
+	if hits, _ := id.Cache().Stats(); hits == 0 {
+		t.Error("repeat identification after warm boot missed the cache")
+	}
+
+	// 0 = disabled is a flag contract, not an accident of the cold path.
+	id0, err := loadOrTrain(&bytes.Buffer{}, st, 8, 2, 0, 0)
+	if err != nil {
+		t.Fatalf("loadOrTrain(cache=0): %v", err)
+	}
+	if id0.Cache() != nil {
+		t.Error("cache-size 0 must disable the cache on the warm path")
+	}
+}
+
+// TestReloadModelAttachesFreshCache covers the SIGHUP half: the
+// hot-reload path must swap in the revalidated bank with the runtime
+// knobs re-applied and a fresh cache — not the old bank's cache (stale
+// answers) and not no cache at all (silent perf regression).
+func TestReloadModelAttachesFreshCache(t *testing.T) {
+	st, _, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	if _, err := st.Models().Save(smallBank(t, core.Config{Seed: 2})); err != nil {
+		t.Fatal(err)
+	}
+
+	old := smallBank(t, core.Config{Seed: 2, Workers: 1, CacheSize: 64})
+	old.SetMetrics(core.NewMetrics(obs.NewRegistry()))
+	svc := iotssp.New(old, vulndb.NewDefault())
+	fp := probeFor(t, "HueBridge")
+	old.Identify(fp)
+	old.Identify(fp) // warm the outgoing bank's cache
+
+	var out bytes.Buffer
+	if err := reloadModel(&out, st, svc, 1, 64); err != nil {
+		t.Fatalf("reloadModel: %v", err)
+	}
+	if !strings.Contains(out.String(), "hot-reloaded") {
+		t.Errorf("missing reload notice:\n%s", out.String())
+	}
+	next := svc.Identifier()
+	if next == old {
+		t.Fatal("reload did not swap the serving bank")
+	}
+	if next.Cache() == nil {
+		t.Fatal("hot-reloaded bank has no identification cache")
+	}
+	if next.Cache() == old.Cache() {
+		t.Fatal("hot-reloaded bank shares the outgoing bank's cache")
+	}
+	if next.Cache().Len() != 0 {
+		t.Errorf("hot-reloaded bank starts with %d cached entries, want 0", next.Cache().Len())
+	}
+	if next.Metrics() != old.Metrics() || next.Metrics() == nil {
+		t.Error("hot-reloaded bank did not carry the metrics bundle")
+	}
+	next.Identify(fp)
+	next.Identify(fp)
+	if hits, _ := next.Cache().Stats(); hits == 0 {
+		t.Error("repeat identification after hot reload missed the cache")
+	}
+
+	if err := reloadModel(&bytes.Buffer{}, st, svc, 1, 0); err != nil {
+		t.Fatalf("reloadModel(cache=0): %v", err)
+	}
+	if svc.Identifier().Cache() != nil {
+		t.Error("cache-size 0 must disable the cache on hot reload")
+	}
+}
+
+// writeDistinctCaptures writes n captures of one device type whose
+// fingerprints are canonically distinct (the learner dedupes exact
+// repeats, so only distinct observations grow a cluster).
+func writeDistinctCaptures(t *testing.T, dir, typ string, n int) {
+	t.Helper()
+	p, err := devices.ProfileByID(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[fingerprint.Key]bool)
+	written := 0
+	for seed := int64(1); written < n && seed < 200; seed++ {
+		for _, c := range devices.GenerateCaptures(p, 4, seed) {
+			fp := fingerprint.FromPackets(c.Packets)
+			if seen[fp.CanonicalKey()] {
+				continue
+			}
+			seen[fp.CanonicalKey()] = true
+			f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s-%02d.pcap", typ, written)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.WritePCAP(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if written++; written == n {
+				break
+			}
+		}
+	}
+	if written < n {
+		t.Fatalf("only %d distinct %s captures found, want %d", written, typ, n)
+	}
+}
+
+// TestGatewaydLearnEndToEnd drives the whole unknown-device loop
+// through the daemon: a bank that does not know MAXGateway sees four
+// distinct MAXGateway devices, clusters them, trains a new type, swaps
+// it into the serving bank and persists it — so the next boot loads a
+// bank that identifies MAXGateway devices instead of quarantining them.
+func TestGatewaydLearnEndToEnd(t *testing.T) {
+	stateDir := t.TempDir()
+	st, _, err := store.Open(stateDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five types trained well enough that a foreign fingerprint is
+	// rejected (a thin bank happily misattributes instead).
+	raw := devices.GenerateDataset(12, 9)
+	ds := make(map[core.TypeID][]fingerprint.Fingerprint)
+	for _, typ := range []string{"Aria", "HueBridge", "EdnetCam", "iKettle2", "WeMoSwitch"} {
+		ds[core.TypeID(typ)] = raw[typ]
+	}
+	bank, err := core.Train(ds, core.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Models().Save(bank); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayDir := t.TempDir()
+	writeDistinctCaptures(t, replayDir, "MAXGateway", 4)
+
+	var first bytes.Buffer
+	if err := run([]string{"-replay", replayDir, "-oneshot",
+		"-state-dir", stateDir, "-learn", "-learn-k", "3"}, &first); err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	s := first.String()
+	for _, want := range []string{
+		"online device-type learning enabled",
+		"loaded model bank from disk",
+		"proposing type",
+		`promoted cluster learned-0001 as type "learned-0001"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("first boot output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Second boot: the persisted bank carries the learned type and a
+	// fresh MAXGateway device is identified, not quarantined.
+	secondReplay := t.TempDir()
+	writeDistinctCaptures(t, secondReplay, "MAXGateway", 5)
+	var second bytes.Buffer
+	if err := run([]string{"-replay", secondReplay, "-oneshot",
+		"-state-dir", stateDir}, &second); err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	s = second.String()
+	if strings.Contains(s, "training in-process") {
+		t.Errorf("second boot retrained instead of loading the learned bank:\n%s", s)
+	}
+	if !strings.Contains(s, "6 types") {
+		t.Errorf("second boot did not load the 6-type bank:\n%s", s)
+	}
+	if !strings.Contains(s, `as "learned-0001"`) {
+		t.Errorf("learned type did not identify a MAXGateway device:\n%s", s)
+	}
+}
+
+// TestLearnRequiresInProcessService: online learning trains on the
+// local bank; with a remote IoTSSP there is nothing local to train.
+func TestLearnRequiresInProcessService(t *testing.T) {
+	err := run([]string{"-oneshot", "-learn", "-ssp", "http://127.0.0.1:1"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-learn requires the in-process service") {
+		t.Errorf("-learn with -ssp must fail with a pointed error, got %v", err)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"iotsentinel/internal/devices"
 	"iotsentinel/internal/fingerprint"
 	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/learn"
 	"iotsentinel/internal/obs"
 	"iotsentinel/internal/vulndb"
 )
@@ -51,6 +52,10 @@ func run(args []string, out io.Writer) error {
 		seed          = fs.Int64("seed", 1, "random seed")
 		assessTimeout = fs.Duration("assess-timeout", 30*time.Second, "server-side cap per assessment request (0 = unlimited); gateways retry 503s")
 		metricsAddr   = fs.String("metrics-addr", "", "listen address for /metrics and /debug/pprof (default: disabled)")
+		workers       = fs.Int("workers", 0, "classifier-bank worker goroutines (0 = GOMAXPROCS)")
+		cacheSize     = fs.Int("cache-size", core.DefaultCacheSize, "identification-cache entries (0 = disabled)")
+		learnOn       = fs.Bool("learn", false, "learn new device-types online from clusters of unknown devices")
+		learnK        = fs.Int("learn-k", learn.DefaultK, "unknown-cluster size that proposes a new device-type")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +72,12 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The saved form carries no runtime configuration: re-attach the
+		// worker pool and a fresh identification cache, exactly like the
+		// training path below gets them from its Config.
+		if err := id.ApplyRuntime(*workers, *cacheSize); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "loaded model with %d device-types\n", id.NumTypes())
 	} else {
 		fmt.Fprintf(out, "training on the reference dataset (%d captures x 27 types)...\n", *captures)
@@ -76,12 +87,33 @@ func run(args []string, out io.Writer) error {
 			ds[core.TypeID(k)] = v
 		}
 		var err error
-		id, err = core.Train(ds, core.Config{Seed: *seed})
+		id, err = core.Train(ds, core.Config{Seed: *seed, Workers: *workers, CacheSize: *cacheSize})
 		if err != nil {
 			return err
 		}
 	}
 	svc := iotssp.New(id, vulndb.NewDefault())
+
+	if *learnOn {
+		// Unknown fingerprints feed the clusterer straight off the assess
+		// path; promoted types hot-swap into the serving bank. Without a
+		// state dir this daemon's learned types live only in memory — the
+		// gateway side (gatewayd -learn -state-dir) is the durable setup.
+		l, err := learn.New(learn.Config{
+			K: *learnK,
+			Promote: func(t core.TypeID, fps []fingerprint.Fingerprint) (*core.Identifier, error) {
+				return svc.PromoteType(t, fps, iotssp.PromoteOptions{})
+			},
+			Known: svc.HasType,
+			Logf:  func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		svc.SetUnknownSink(l.Observe)
+		fmt.Fprintf(out, "learn: online device-type learning enabled (k=%d)\n", *learnK)
+	}
 
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()

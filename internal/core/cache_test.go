@@ -169,6 +169,26 @@ func TestCachePurgedOnAddType(t *testing.T) {
 	}
 }
 
+// TestSetCachePurgesWarmCache pins the stale-answer guard: a cache that
+// already holds entries answered by some other bank must come up empty
+// when attached, or a bank swap could serve results the new bank would
+// never produce.
+func TestSetCachePurgesWarmCache(t *testing.T) {
+	cached, plain, probes := trainedPair(t, 1024)
+	cached.Identify(probes[0])
+	warm := cached.Cache()
+	if warm.Len() == 0 {
+		t.Fatal("cache empty after identification")
+	}
+	plain.SetCache(warm)
+	if n := warm.Len(); n != 0 {
+		t.Errorf("SetCache attached a warm cache with %d entries, want purge to 0", n)
+	}
+	if plain.Cache() != warm {
+		t.Error("SetCache did not attach the cache")
+	}
+}
+
 func TestCacheNilSafe(t *testing.T) {
 	var c *IdentifyCache
 	c.put(fingerprint.Key{}, Result{})

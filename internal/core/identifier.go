@@ -298,11 +298,47 @@ func (id *Identifier) AddType(t TypeID, fps []fingerprint.Fingerprint) error {
 
 // SetCache attaches (or, with nil, detaches) an identification cache.
 // Like SetWorkers it is a runtime rebinding with no effect on answers —
-// e.g. after LoadIdentifier, which restores models but not caches.
+// e.g. after LoadIdentifier, which restores models but not caches. A
+// cache that already holds entries is purged on attach: its answers
+// were computed by whatever bank it was attached to before, and a warm
+// cache carried across a bank swap could serve results the new bank
+// would never produce.
 func (id *Identifier) SetCache(c *IdentifyCache) {
+	if c != nil && c.Len() > 0 {
+		c.Purge()
+	}
 	id.mu.Lock()
 	defer id.mu.Unlock()
 	id.cache = c
+}
+
+// ApplyRuntime re-binds the runtime-only configuration — the worker
+// bound and the identification cache — on a trained identifier.
+// Workers and CacheSize are deliberately excluded from serialization
+// (models trained at any worker count are identical, and cached
+// answers must not outlive the bank that produced them), which means
+// every load site — warm boot, SIGHUP hot reload, a model file handed
+// to iotsspd — gets an identifier with the *default* fan-out and no
+// cache at all. Callers that honor -workers/-cache-size flags must
+// call ApplyRuntime after LoadIdentifier, with cacheSize 0 keeping the
+// cache disabled (the flag contract).
+func (id *Identifier) ApplyRuntime(workers, cacheSize int) error {
+	if workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", workers)
+	}
+	if cacheSize < 0 {
+		return fmt.Errorf("core: CacheSize must be >= 0, got %d", cacheSize)
+	}
+	id.mu.Lock()
+	defer id.mu.Unlock()
+	id.cfg.Workers = workers
+	id.cfg.CacheSize = cacheSize
+	if cacheSize > 0 {
+		id.cache = NewIdentifyCache(cacheSize)
+	} else {
+		id.cache = nil
+	}
+	return nil
 }
 
 // Cache returns the attached identification cache (nil when caching is

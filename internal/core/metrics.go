@@ -84,3 +84,12 @@ func (id *Identifier) SetMetrics(m *Metrics) {
 	defer id.mu.Unlock()
 	id.metrics = m
 }
+
+// Metrics returns the attached instrumentation bundle, nil when
+// detached. Banks that replace this one (hot reload, promotion) carry
+// the bundle over so counter series continue across swaps.
+func (id *Identifier) Metrics() *Metrics {
+	id.mu.RLock()
+	defer id.mu.RUnlock()
+	return id.metrics
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"iotsentinel/internal/fingerprint"
@@ -241,6 +242,38 @@ func BenchmarkIdentifyCacheHit(b *testing.B) {
 	probe := synthType([]float64{100, 110}, 1, 15, 50)[0]
 	var res Result
 	id.IdentifyInto(probe, &res)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id.IdentifyInto(probe, &res)
+	}
+}
+
+// BenchmarkIdentifyWarmBootCached replays a probe against an identifier
+// that went through the production warm-boot sequence: Save, Load,
+// ApplyRuntime to re-attach the cache. It pins the cache-attachment fix
+// on the boot path — if a load site stops re-applying the runtime
+// config, this degenerates to full bank scans and the bench gate trips.
+func BenchmarkIdentifyWarmBootCached(b *testing.B) {
+	trained := oracleIdentifier(b, Config{Seed: 7, NegativeRatio: 4, Workers: 1})
+	var buf bytes.Buffer
+	if err := trained.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	id, err := LoadIdentifier(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := id.ApplyRuntime(1, 64); err != nil {
+		b.Fatal(err)
+	}
+	probe := synthType([]float64{100, 110}, 1, 15, 50)[0]
+	var res Result
+	id.IdentifyInto(probe, &res) // miss fills the cache
+	id.IdentifyInto(probe, &res)
+	if hits, _ := id.Cache().Stats(); hits == 0 {
+		b.Fatal("warm-boot identifier is not serving from its cache")
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

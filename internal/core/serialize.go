@@ -125,6 +125,34 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 	return id, nil
 }
 
+// Clone deep-copies the identifier through an in-memory serialization
+// round trip, so the copy shares no mutable state with the original:
+// AddType on the clone trains a new classifier (the training pool is
+// part of the wire format) while the original keeps serving. The
+// runtime-only settings — worker bound and cache size — are carried
+// over explicitly since they do not serialize; the clone gets a fresh,
+// empty cache rather than a view of the original's.
+func (id *Identifier) Clone() (*Identifier, error) {
+	var buf bytes.Buffer
+	if err := id.Save(&buf); err != nil {
+		return nil, err
+	}
+	out, err := LoadIdentifier(&buf)
+	if err != nil {
+		return nil, err
+	}
+	id.mu.RLock()
+	workers, cacheSize, metrics := id.cfg.Workers, id.cfg.CacheSize, id.metrics
+	id.mu.RUnlock()
+	if err := out.ApplyRuntime(workers, cacheSize); err != nil {
+		return nil, err
+	}
+	// The metrics bundle is shared, not copied: a clone that replaces
+	// this bank continues the same counter series.
+	out.SetMetrics(metrics)
+	return out, nil
+}
+
 func fToRows(f fingerprint.F) [][]float64 {
 	rows := make([][]float64, len(f))
 	for i, v := range f {

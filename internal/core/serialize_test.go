@@ -2,8 +2,11 @@ package core
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
+
+	"iotsentinel/internal/fingerprint"
 )
 
 func TestIdentifierSaveLoad(t *testing.T) {
@@ -50,6 +53,112 @@ func TestIdentifierLoadSupportsAddType(t *testing.T) {
 	}
 	if hits < 4 {
 		t.Errorf("new type after reload: %d/5", hits)
+	}
+}
+
+// TestRuntimeConfigDoesNotSurviveLoad pins the serialization invariant
+// the warm-boot bug family grew out of: Workers and CacheSize are
+// runtime-only fields, so a Save/Load round trip silently drops them —
+// a loaded identifier runs at the default fan-out with NO cache, no
+// matter what the saving process was configured with. Every load site
+// must re-apply them (ApplyRuntime); this test keeps the invariant
+// visible so a future field added to Config is triaged deliberately.
+func TestRuntimeConfigDoesNotSurviveLoad(t *testing.T) {
+	samples := map[TypeID][]fingerprint.Fingerprint{
+		"alpha": synthType([]float64{60, 70, 80}, 10, 15, 1),
+		"beta":  synthType([]float64{200, 210, 220}, 10, 15, 2),
+	}
+	id, err := Train(samples, Config{Seed: 1, Workers: 3, CacheSize: 32})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if id.Cache() == nil {
+		t.Fatal("CacheSize > 0 must attach a cache at train time")
+	}
+	var buf bytes.Buffer
+	if err := id.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	re, err := LoadIdentifier(&buf)
+	if err != nil {
+		t.Fatalf("LoadIdentifier: %v", err)
+	}
+	// The invariant: neither runtime field survives the round trip.
+	if re.Cache() != nil {
+		t.Error("cache survived Save/Load; CacheSize is supposed to be runtime-only")
+	}
+	if got := re.Workers(); got == 3 && runtime.GOMAXPROCS(0) != 3 {
+		t.Errorf("Workers = %d survived Save/Load; Workers is supposed to be runtime-only", got)
+	}
+	// ...and ApplyRuntime is the designated repair at every load site.
+	if err := re.ApplyRuntime(3, 32); err != nil {
+		t.Fatalf("ApplyRuntime: %v", err)
+	}
+	if got := re.Workers(); got != 3 {
+		t.Errorf("Workers after ApplyRuntime = %d, want 3", got)
+	}
+	if re.Cache() == nil {
+		t.Fatal("ApplyRuntime(_, 32) must attach a cache")
+	}
+	probe := synthType([]float64{60, 70, 80}, 1, 15, 77)[0]
+	re.Identify(probe)
+	re.Identify(probe)
+	if hits, _ := re.Cache().Stats(); hits == 0 {
+		t.Error("replayed probe did not hit the re-attached cache")
+	}
+	// cacheSize 0 = disabled, matching the -cache-size flag contract.
+	if err := re.ApplyRuntime(0, 0); err != nil {
+		t.Fatalf("ApplyRuntime(0, 0): %v", err)
+	}
+	if re.Cache() != nil {
+		t.Error("ApplyRuntime(_, 0) must detach the cache")
+	}
+	if err := re.ApplyRuntime(-1, 0); err == nil {
+		t.Error("negative workers must be rejected")
+	}
+	if err := re.ApplyRuntime(0, -1); err == nil {
+		t.Error("negative cache size must be rejected")
+	}
+}
+
+// TestCloneIsIndependent pins Clone's contract: identical answers, no
+// shared mutable state (AddType on the clone must not leak into the
+// original), runtime settings carried over with a fresh empty cache.
+func TestCloneIsIndependent(t *testing.T) {
+	samples := map[TypeID][]fingerprint.Fingerprint{
+		"alpha": synthType([]float64{60, 70, 80}, 10, 15, 1),
+		"beta":  synthType([]float64{200, 210, 220}, 10, 15, 2),
+	}
+	id, err := Train(samples, Config{Seed: 1, Workers: 2, CacheSize: 16})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	probe := synthType([]float64{60, 70, 80}, 1, 15, 88)[0]
+	id.Identify(probe) // warm the original's cache
+	cl, err := id.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	if cl.Workers() != id.Workers() {
+		t.Errorf("clone Workers = %d, original %d", cl.Workers(), id.Workers())
+	}
+	if cl.Cache() == nil {
+		t.Fatal("clone must carry a cache when the original is configured with one")
+	}
+	if cl.Cache() == id.Cache() {
+		t.Fatal("clone shares the original's cache")
+	}
+	if n := cl.Cache().Len(); n != 0 {
+		t.Errorf("clone cache has %d entries, want a fresh empty cache", n)
+	}
+	if a, b := id.Identify(probe).Type, cl.Identify(probe).Type; a != b {
+		t.Errorf("clone identifies %q, original %q", b, a)
+	}
+	if err := cl.AddType("gamma", synthType([]float64{1500, 1510}, 10, 15, 9)); err != nil {
+		t.Fatalf("AddType on clone: %v", err)
+	}
+	if id.NumTypes() != 2 || cl.NumTypes() != 3 {
+		t.Errorf("NumTypes: original %d (want 2), clone %d (want 3)", id.NumTypes(), cl.NumTypes())
 	}
 }
 

@@ -225,6 +225,50 @@ func Normalized(a, b []int) float64 {
 	return float64(Distance(a, b)) / float64(n)
 }
 
+// NormalizedBounded computes the normalized distance if it is at most
+// limit, returning (d, true) with d exact; otherwise it returns
+// (_, false) as soon as the banded DP proves the bound is exceeded.
+// This is the linkage predicate for clustering ("are these two words
+// within limit of each other?"): the integer budget handed to the
+// banded DP is the largest maxD with maxD/maxlen <= limit, derived with
+// the same guess-and-nudge float discipline as DistanceSumBounded, so
+// the accept/reject decision is bit-identical to computing Normalized
+// exactly and comparing — at a fraction of the work for far-apart
+// words. A negative limit always reports exceeded; two empty words are
+// within any limit >= 0.
+func NormalizedBounded(a, b []int, limit float64) (float64, bool) {
+	if limit < 0 {
+		return 0, false
+	}
+	ml := len(a)
+	if len(b) > ml {
+		ml = len(b)
+	}
+	if ml == 0 {
+		return 0, true
+	}
+	mlf := float64(ml)
+	// Largest integer budget whose normalized value stays within limit.
+	maxD := ml
+	if guess := limit * mlf; guess < float64(ml) {
+		maxD = int(guess)
+		for maxD < ml && float64(maxD+1)/mlf <= limit {
+			maxD++
+		}
+	}
+	for maxD >= 0 && float64(maxD)/mlf > limit {
+		maxD--
+	}
+	if maxD < 0 {
+		return 0, false
+	}
+	d := DistanceBounded(a, b, maxD)
+	if d > maxD {
+		return 0, false
+	}
+	return float64(d) / mlf, true
+}
+
 // overlayBase is the first symbol value handed to vectors absent from
 // a frozen table (RefSet or Vocab). It is far above any frozen symbol
 // (those are dense indices from 0), so overlay symbols can never

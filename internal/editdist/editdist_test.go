@@ -65,6 +65,64 @@ func TestNormalized(t *testing.T) {
 	}
 }
 
+func TestNormalizedBounded(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   string
+		limit  float64
+		want   float64
+		wantOK bool
+	}{
+		{"both-empty", "", "", 0, 0, true},
+		{"identical", "abcd", "abcd", 0, 0, true},
+		{"at-limit", "ab", "ax", 0.5, 0.5, true},
+		{"over-limit", "ab", "ax", 0.49, 0, false},
+		{"disjoint-tight", "aaaa", "bbbb", 0.5, 0, false},
+		{"disjoint-loose", "aaaa", "bbbb", 1, 1, true},
+		{"against-empty", "abcd", "", 0.9, 0, false},
+		{"negative-limit", "abcd", "abcd", -0.1, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := NormalizedBounded(word(tt.a), word(tt.b), tt.limit)
+			if ok != tt.wantOK || (ok && got != tt.want) {
+				t.Errorf("NormalizedBounded(%q, %q, %v) = (%v, %v), want (%v, %v)",
+					tt.a, tt.b, tt.limit, got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+// TestNormalizedBoundedAgreesWithExact: the accept/reject decision and
+// the accepted value must match computing Normalized exactly and
+// comparing against the limit — the property clustering linkage
+// depends on.
+func TestNormalizedBoundedAgreesWithExact(t *testing.T) {
+	clamp := func(s []uint8) []int {
+		if len(s) > 20 {
+			s = s[:20]
+		}
+		out := make([]int, len(s))
+		for i, c := range s {
+			out[i] = int(c % 4)
+		}
+		return out
+	}
+	agree := func(a, b []uint8, lim uint8) bool {
+		x, y := clamp(a), clamp(b)
+		limit := float64(lim%128) / 100 // [0, 1.27] straddles the whole range
+		exact := Normalized(x, y)
+		got, ok := NormalizedBounded(x, y, limit)
+		if exact <= limit {
+			return ok && got == exact
+		}
+		return !ok
+	}
+	if err := quick.Check(agree, nil); err != nil {
+		t.Errorf("bounded/exact agreement: %v", err)
+	}
+}
+
 func TestDistanceProperties(t *testing.T) {
 	clamp := func(s []uint8) []int {
 		if len(s) > 20 {

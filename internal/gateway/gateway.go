@@ -107,6 +107,12 @@ type Config struct {
 	AssessQueue int
 	// OnAssessed, if set, is called after each device assessment.
 	OnAssessed func(DeviceInfo)
+	// OnUnknown, if set, receives every assessed device no classifier
+	// accepted, along with the fingerprint that went unrecognized — the
+	// gateway-side feed of the online-learning loop (internal/learn).
+	// Like OnAssessed it runs off the shard lock; keep it fast (hand
+	// off to a queue) or assessments serialize behind it.
+	OnUnknown func(DeviceInfo, fingerprint.Fingerprint)
 	// OnNotify, if set, receives user notifications for devices whose
 	// critical vulnerabilities have no firmware fix.
 	OnNotify func(Notification)
@@ -136,6 +142,11 @@ type Config struct {
 	// errors never interrupt the data path: the gateway keeps
 	// enforcing with its in-memory state and reports the error here.
 	OnStoreError func(error)
+	// LearnState, if set, is sampled by Checkpoint so the online
+	// learner's cluster state rides in the gateway's snapshot (the
+	// journal is compacted up to the snapshot, so the snapshot must be
+	// self-contained). It is called without gateway locks held.
+	LearnState func() *store.LearnState
 }
 
 // quarantined is one parked fingerprint awaiting a retry.
@@ -339,7 +350,7 @@ func (g *Gateway) FinishAllSetups(now time.Time) (int, error) {
 	assessments, err := assessAll(g.assessor, fps)
 	if err == nil {
 		for i, a := range assessments {
-			g.apply(macs[i], a, now)
+			g.apply(macs[i], a, fps[i], now)
 		}
 		return len(macs), nil
 	}
@@ -353,7 +364,7 @@ func (g *Gateway) FinishAllSetups(now time.Time) (int, error) {
 			g.quarantineDevice(mac, fps[i], now, aerr)
 			continue
 		}
-		g.apply(mac, a, now)
+		g.apply(mac, a, fps[i], now)
 		assessed++
 	}
 	return assessed, nil
@@ -384,7 +395,7 @@ func (g *Gateway) assess(mac packet.MAC, fp fingerprint.Fingerprint, now time.Ti
 		g.quarantineDevice(mac, fp, now, err)
 		return
 	}
-	g.apply(mac, a, now)
+	g.apply(mac, a, fp, now)
 }
 
 // quarantineDevice isolates a device whose assessment failed: a strict
@@ -492,7 +503,7 @@ func (g *Gateway) RetryQuarantined(now time.Time) (int, error) {
 			// Removed concurrently (RemoveDevice or a parallel drain).
 			continue
 		}
-		g.apply(mac, a, now)
+		g.apply(mac, a, fps[i], now)
 		g.cfg.Metrics.incRetry(true)
 		promoted++
 	}
@@ -530,8 +541,10 @@ func (g *Gateway) FinalizeIdleCaptures(now time.Time) int {
 }
 
 // apply installs the enforcement rule for one assessment and fires the
-// gateway callbacks.
-func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
+// gateway callbacks. fp is the fingerprint the assessment answered,
+// threaded through so an unrecognized device can hand its evidence to
+// the online learner.
+func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, fp fingerprint.Fingerprint, now time.Time) {
 	rule := &sdn.EnforcementRule{
 		DeviceMAC:    mac,
 		Level:        a.Level,
@@ -582,6 +595,9 @@ func (g *Gateway) apply(mac packet.MAC, a iotssp.Assessment, now time.Time) {
 
 	if g.cfg.OnAssessed != nil {
 		g.cfg.OnAssessed(snapshot)
+	}
+	if !a.Known && g.cfg.OnUnknown != nil {
+		g.cfg.OnUnknown(snapshot, fp)
 	}
 	if g.cfg.OnNotify != nil {
 		for _, v := range a.Vulnerabilities {

@@ -271,6 +271,9 @@ func (g *Gateway) Checkpoint() error {
 		return nil
 	}
 	snap := &store.Snapshot{Seq: st.Seq(), TakenAt: time.Now()}
+	if g.cfg.LearnState != nil {
+		snap.Learn = g.cfg.LearnState()
+	}
 	for _, s := range g.shards {
 		s.mu.Lock()
 		for _, info := range s.devices {

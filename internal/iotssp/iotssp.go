@@ -10,6 +10,7 @@ package iotssp
 
 import (
 	"errors"
+	"fmt"
 	"net/netip"
 	"sort"
 	"sync"
@@ -57,6 +58,12 @@ type Service struct {
 	id        *core.Identifier
 	db        *vulndb.DB
 	endpoints map[core.TypeID][]netip.Addr
+	// unknownSink, when set, receives every fingerprint no classifier
+	// accepted — the feed of the online-learning loop. It is invoked
+	// after the service lock is released (see Assess), so a sink may
+	// call back into the service (HasType, PromoteType) without
+	// deadlocking.
+	unknownSink func(fingerprint.Fingerprint)
 }
 
 var (
@@ -112,11 +119,50 @@ func (s *Service) Types() []core.TypeID {
 	return s.id.Types()
 }
 
+// HasType reports whether the current bank has a classifier for t.
+func (s *Service) HasType(t core.TypeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, have := range s.id.Types() {
+		if have == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Identifier returns the currently serving classifier bank. The bank
+// may be swapped out at any moment by ReplaceIdentifier or PromoteType;
+// callers get a consistent snapshot, not a live view.
+func (s *Service) Identifier() *core.Identifier {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.id
+}
+
+// SetUnknownSink registers (or, with nil, removes) the callback that
+// receives every fingerprint rejected by all classifiers. The sink runs
+// on the assessing goroutine after the service lock is released: keep
+// it fast (hand off to a queue) or assessments serialize behind it.
+func (s *Service) SetUnknownSink(fn func(fingerprint.Fingerprint)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unknownSink = fn
+}
+
 // Assess classifies the fingerprint and derives the isolation level.
 func (s *Service) Assess(fp fingerprint.Fingerprint) (Assessment, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.assessmentLocked(s.id.Identify(fp)), nil
+	a := s.assessmentLocked(s.id.Identify(fp))
+	sink := s.unknownSink
+	s.mu.RUnlock()
+	// The sink fires outside the lock so it can call back into the
+	// service — PromoteType write-locks, and a sink holding even a read
+	// lock would deadlock against it.
+	if !a.Known && sink != nil {
+		sink(fp)
+	}
+	return a, nil
 }
 
 // AssessBatch classifies many fingerprints in one call, pipelining the
@@ -125,12 +171,101 @@ func (s *Service) Assess(fp fingerprint.Fingerprint) (Assessment, error) {
 // return for each fingerprint.
 func (s *Service) AssessBatch(fps []fingerprint.Fingerprint) ([]Assessment, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]Assessment, len(fps))
 	for i, res := range s.id.IdentifyBatch(fps) {
 		out[i] = s.assessmentLocked(res)
 	}
+	sink := s.unknownSink
+	s.mu.RUnlock()
+	if sink != nil {
+		for i, a := range out {
+			if !a.Known {
+				sink(fps[i])
+			}
+		}
+	}
 	return out, nil
+}
+
+// PromoteOptions tunes PromoteType's validation gate.
+type PromoteOptions struct {
+	// MinAccept is the minimum fraction of the promoted cluster's
+	// fingerprints the freshly trained bank must identify as the new
+	// type for the swap to happen (0 selects the default 0.5). A cluster
+	// whose members scatter across existing types would only add noise.
+	MinAccept float64
+}
+
+var (
+	// ErrBankChanged reports that the serving bank was replaced
+	// concurrently on every promotion attempt; the caller should
+	// re-observe and retry with fresh evidence.
+	ErrBankChanged = errors.New("iotssp: bank changed during promotion")
+	// ErrValidationFailed reports that the candidate bank did not
+	// identify enough of the cluster as the new type.
+	ErrValidationFailed = errors.New("iotssp: promoted type failed validation")
+)
+
+// promoteRetries bounds the clone-train-swap attempts when the serving
+// bank keeps changing under the promotion (another promotion or a
+// SIGHUP reload landing first).
+const promoteRetries = 3
+
+// PromoteType trains a classifier for a new device-type and hot-swaps
+// it into service without ever blocking assessments on training: the
+// current bank is cloned, the clone learns the type in the background
+// (AddType on the clone; the serving bank is untouched), the result is
+// validated against the cluster that proposed it, and only then is the
+// bank pointer swapped — through the same validated path as
+// ReplaceIdentifier. If another swap landed in the meantime, the
+// promotion re-clones from the new bank and retrains, up to
+// promoteRetries times (compare-and-swap on the bank pointer, with
+// training as the expensive "compute" step). On success the new bank is
+// returned so the caller can persist it.
+func (s *Service) PromoteType(t core.TypeID, fps []fingerprint.Fingerprint, opts PromoteOptions) (*core.Identifier, error) {
+	if t == core.Unknown {
+		return nil, errors.New("iotssp: cannot promote the unknown type")
+	}
+	if len(fps) == 0 {
+		return nil, errors.New("iotssp: no fingerprints to promote")
+	}
+	minAccept := opts.MinAccept
+	if minAccept <= 0 {
+		minAccept = 0.5
+	}
+	for attempt := 0; attempt < promoteRetries; attempt++ {
+		s.mu.RLock()
+		base := s.id
+		s.mu.RUnlock()
+		next, err := base.Clone()
+		if err != nil {
+			return nil, err
+		}
+		if err := next.AddType(t, fps); err != nil {
+			return nil, err
+		}
+		accepted := 0
+		for _, res := range next.IdentifyBatch(fps) {
+			if res.Type == t {
+				accepted++
+			}
+		}
+		if frac := float64(accepted) / float64(len(fps)); frac < minAccept {
+			return nil, fmt.Errorf("%w: %q accepted %d/%d members (min %.2f)",
+				ErrValidationFailed, t, accepted, len(fps), minAccept)
+		}
+		s.mu.Lock()
+		if s.id == base {
+			s.id = next
+			s.mu.Unlock()
+			return next, nil
+		}
+		s.mu.Unlock()
+		// The bank moved under us (concurrent promotion or hot reload):
+		// the clone is trained against a stale pool, throw it away and
+		// rebuild from the new bank.
+	}
+	return nil, ErrBankChanged
 }
 
 // assessmentLocked derives the isolation level for one identification;

@@ -1,6 +1,7 @@
 package iotssp
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
@@ -115,6 +116,113 @@ func TestAddType(t *testing.T) {
 	}
 	if len(svc.Types()) != 6 {
 		t.Errorf("Types = %v", svc.Types())
+	}
+}
+
+func TestUnknownSink(t *testing.T) {
+	svc, _ := testService(t)
+	var got []fingerprint.Fingerprint
+	svc.SetUnknownSink(func(fp fingerprint.Fingerprint) { got = append(got, fp) })
+	known := probeFor(t, "HueBridge", 100)
+	unknown := probeFor(t, "MAXGateway", 102)
+	if _, err := svc.Assess(known); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("sink fired for a known device")
+	}
+	if _, err := svc.Assess(unknown); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("sink saw %d fingerprints after one unknown assessment", len(got))
+	}
+	// Batch path must feed the sink identically.
+	if _, err := svc.AssessBatch([]fingerprint.Fingerprint{known, unknown, unknown}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("sink saw %d fingerprints after batch, want 3", len(got))
+	}
+	// A sink that calls back into the service must not deadlock — the
+	// online-learning loop does exactly this.
+	svc.SetUnknownSink(func(fp fingerprint.Fingerprint) {
+		if svc.HasType("MAXGateway") {
+			t.Error("MAXGateway unexpectedly known")
+		}
+	})
+	if _, err := svc.Assess(unknown); err != nil {
+		t.Fatal(err)
+	}
+	svc.SetUnknownSink(nil)
+	if _, err := svc.Assess(unknown); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromoteType(t *testing.T) {
+	svc, _ := testService(t)
+	full := devices.GenerateDataset(12, 33)
+	cluster := full["MAXGateway"]
+	before := svc.Identifier()
+	next, err := svc.PromoteType("MAXGateway", cluster, PromoteOptions{})
+	if err != nil {
+		t.Fatalf("PromoteType: %v", err)
+	}
+	if next == before {
+		t.Fatal("PromoteType returned the old bank")
+	}
+	if svc.Identifier() != next {
+		t.Fatal("service is not serving the promoted bank")
+	}
+	if !svc.HasType("MAXGateway") {
+		t.Fatal("promoted type missing from the bank")
+	}
+	// The pre-promotion bank must be untouched: train-while-serving.
+	if before.NumTypes() != 5 {
+		t.Errorf("old bank mutated: NumTypes = %d", before.NumTypes())
+	}
+	a, err := svc.Assess(probeFor(t, "MAXGateway", 103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Type != "MAXGateway" || !a.Known {
+		t.Errorf("post-promotion assessment = %+v", a)
+	}
+}
+
+func TestPromoteTypeValidationGate(t *testing.T) {
+	svc, _ := testService(t)
+	// A "cluster" drawn from an already-known type: the new classifier
+	// loses every discrimination to the real one, so validation fails
+	// and the serving bank must be left alone.
+	full := devices.GenerateDataset(12, 33)
+	before := svc.Identifier()
+	_, err := svc.PromoteType("HueBridgeClone", full["HueBridge"], PromoteOptions{MinAccept: 0.9})
+	if err == nil {
+		t.Fatal("promotion of a shadowed cluster passed validation")
+	}
+	if !errors.Is(err, ErrValidationFailed) {
+		t.Fatalf("err = %v, want ErrValidationFailed", err)
+	}
+	if svc.Identifier() != before {
+		t.Fatal("failed promotion swapped the bank")
+	}
+	if svc.HasType("HueBridgeClone") {
+		t.Fatal("failed promotion left the type in the bank")
+	}
+}
+
+func TestPromoteTypeRejectsBadInput(t *testing.T) {
+	svc, _ := testService(t)
+	if _, err := svc.PromoteType(core.Unknown, devices.GenerateDataset(2, 1)["Aria"], PromoteOptions{}); err == nil {
+		t.Error("promoting the unknown type must fail")
+	}
+	if _, err := svc.PromoteType("X", nil, PromoteOptions{}); err == nil {
+		t.Error("promoting an empty cluster must fail")
+	}
+	if _, err := svc.PromoteType("Aria", devices.GenerateDataset(2, 1)["Aria"], PromoteOptions{}); err == nil {
+		t.Error("promoting an already-trained type must fail")
 	}
 }
 

@@ -1,0 +1,101 @@
+package learn
+
+import (
+	"time"
+
+	"iotsentinel/internal/obs"
+)
+
+// Metrics is the learner's instrumentation bundle. Attach one via
+// Config.Metrics; a nil bundle disables instrumentation with zero
+// overhead.
+//
+// Exported series:
+//
+//	learn_observations_total{outcome="queued|duplicate|dropped"} counter
+//	learn_clusters                                               gauge
+//	learn_proposals_total                                        counter
+//	learn_promotions_total{outcome="success|failure"}            counter
+//	learn_promote_seconds                                        histogram
+type Metrics struct {
+	obsQueued    *obs.Counter
+	obsDuplicate *obs.Counter
+	obsDropped   *obs.Counter
+	clusters     *obs.Gauge
+	proposals    *obs.Counter
+	promoteOK    *obs.Counter
+	promoteFail  *obs.Counter
+	promoteSecs  *obs.Histogram
+}
+
+// NewMetrics registers the learn metric family on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	observations := reg.CounterVec("learn_observations_total",
+		"Unknown fingerprints offered to the clusterer, by outcome.", "outcome")
+	promotions := reg.CounterVec("learn_promotions_total",
+		"Cluster promotion attempts (train, validate, hot-swap), by outcome.", "outcome")
+	return &Metrics{
+		obsQueued:    observations.With("queued"),
+		obsDuplicate: observations.With("duplicate"),
+		obsDropped:   observations.With("dropped"),
+		clusters: reg.Gauge("learn_clusters",
+			"Unknown-fingerprint clusters currently tracked."),
+		proposals: reg.Counter("learn_proposals_total",
+			"Clusters that crossed the membership threshold and proposed a type."),
+		promoteOK:   promotions.With("success"),
+		promoteFail: promotions.With("failure"),
+		promoteSecs: reg.Histogram("learn_promote_seconds",
+			"Background train-validate-swap duration per promotion attempt.", nil),
+	}
+}
+
+// incObserved counts one observation accepted onto the queue. Safe on
+// nil.
+func (m *Metrics) incObserved() {
+	if m != nil {
+		m.obsQueued.Inc()
+	}
+}
+
+// incDuplicate counts an observation whose canonical key was already
+// clustered. Safe on nil.
+func (m *Metrics) incDuplicate() {
+	if m != nil {
+		m.obsDuplicate.Inc()
+	}
+}
+
+// incDropped counts an observation rejected by a full queue. Safe on
+// nil.
+func (m *Metrics) incDropped() {
+	if m != nil {
+		m.obsDropped.Inc()
+	}
+}
+
+// setClusters publishes the live cluster count. Safe on nil.
+func (m *Metrics) setClusters(n int) {
+	if m != nil {
+		m.clusters.Set(int64(n))
+	}
+}
+
+// incProposal counts one threshold crossing. Safe on nil.
+func (m *Metrics) incProposal() {
+	if m != nil {
+		m.proposals.Inc()
+	}
+}
+
+// observePromote records one promotion attempt. Safe on nil.
+func (m *Metrics) observePromote(d time.Duration, ok bool) {
+	if m == nil {
+		return
+	}
+	m.promoteSecs.ObserveDuration(d)
+	if ok {
+		m.promoteOK.Inc()
+	} else {
+		m.promoteFail.Inc()
+	}
+}

@@ -30,6 +30,22 @@ const (
 	// EvRemoved: the device left the network and its rule was evicted.
 	// Durable (fsynced).
 	EvRemoved EventKind = "removed"
+
+	// Online-learning kinds: the unknown-device loop journals its
+	// cluster growth so a pending proposal survives restart. All three
+	// are routine (batched, not fsynced) — losing a tail record merely
+	// re-observes an unknown or re-proposes a cluster later.
+
+	// EvUnknownObserved: a fingerprint no classifier accepted joined a
+	// cluster (Cluster names it, Fingerprint carries the member's F).
+	EvUnknownObserved EventKind = "unknown_observed"
+	// EvTypeProposed: a cluster crossed the membership threshold and
+	// proposed a new device-type (Type is the proposed name, Members the
+	// cluster size at proposal).
+	EvTypeProposed EventKind = "type_proposed"
+	// EvTypePromoted: the proposed type trained, validated and
+	// hot-swapped into the serving bank.
+	EvTypePromoted EventKind = "type_promoted"
 )
 
 // Event is one journal record. Fields beyond Seq/Kind/MAC/At are
@@ -56,8 +72,15 @@ type Event struct {
 	// Quarantine fields (EvQuarantined).
 	Attempts int `json:"attempts,omitempty"`
 	// Fingerprint is the parked fingerprint's F matrix; F′ is
-	// re-derived on recovery.
+	// re-derived on recovery. EvUnknownObserved reuses it for the
+	// cluster member's F.
 	Fingerprint [][]float64 `json:"fingerprint,omitempty"`
+
+	// Online-learning fields (EvUnknownObserved, EvTypeProposed,
+	// EvTypePromoted). Cluster is the cluster's stable name; Members is
+	// its size when the event fired.
+	Cluster string `json:"cluster,omitempty"`
+	Members int    `json:"members,omitempty"`
 }
 
 // durable reports whether the event must be fsynced before Append

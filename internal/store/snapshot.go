@@ -39,6 +39,27 @@ type QuarantineRecord struct {
 	Fingerprint [][]float64 `json:"fingerprint"`
 }
 
+// ClusterRecord is one unknown-fingerprint cluster inside a snapshot:
+// its stable name, full membership (F matrices; F′ re-derives), and
+// how far through the propose→promote lifecycle it got. Members must be
+// complete — Checkpoint compacts the per-member journal records away,
+// so the snapshot is the only copy.
+type ClusterRecord struct {
+	ID       string        `json:"id"`
+	Type     string        `json:"type,omitempty"`
+	Proposed bool          `json:"proposed,omitempty"`
+	Promoted bool          `json:"promoted,omitempty"`
+	Members  [][][]float64 `json:"members"`
+}
+
+// LearnState is the online-learning subsystem's durable state.
+type LearnState struct {
+	// NextCluster seeds cluster naming so IDs never repeat across
+	// restarts.
+	NextCluster int             `json:"nextCluster"`
+	Clusters    []ClusterRecord `json:"clusters,omitempty"`
+}
+
 // Snapshot is a point-in-time capture of the gateway's durable state.
 // It covers every journal record with Seq ≤ Seq; Checkpoint compacts
 // those away.
@@ -49,6 +70,11 @@ type Snapshot struct {
 
 	Devices    []DeviceRecord     `json:"devices"`
 	Quarantine []QuarantineRecord `json:"quarantine"`
+
+	// Learn, when non-nil, carries the online-learning cluster state
+	// (absent from snapshots written before the learn subsystem, which
+	// decode with Learn == nil).
+	Learn *LearnState `json:"learn,omitempty"`
 }
 
 // writeSnapshot persists snap atomically: a CRC-framed temp file in the
