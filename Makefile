@@ -1,11 +1,13 @@
 # IoT Sentinel build/test entry points. `make verify` is the tier-1
-# gate (vet + gofmt check + build + shuffled full test suite + a short
-# -race pass over the gateway, online learner, durable store and
-# metrics registry + the crash fault-injection sweep + a short fuzz
-# pass over the capture readers, the model deserializer and the
-# cluster-linkage input); `make test-race` covers the concurrent
-# classifier bank, gateway, online learner and enforcement plane in
-# full;
+# gate (vet + gofmt check + build + a vulnerability/static-analysis
+# pass when the tooling is installed + shuffled full test suite + a
+# short -race pass over the gateway, online learner, durable store,
+# metrics registry and fleet control plane + the crash fault-injection
+# sweep + a short fuzz pass over the capture readers, the model
+# deserializer, the cluster-linkage input and the fleet wire decoders);
+# `make test-race` covers the concurrent
+# classifier bank, gateway, online learner, fleet control plane and
+# enforcement plane in full;
 # `make fuzz` runs each fuzz target for FUZZTIME; `make crash` runs the
 # journal truncation/corruption sweeps and restart differential tests;
 # `make bench` runs every paper-table benchmark plus the parallel
@@ -27,7 +29,7 @@ BENCH_ROOT ?= ^Benchmark(ClassifySingle|EditDistanceSingle|TypeIdentification|Fi
 BENCH_COUNT ?= 3
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check verify test test-race fuzz crash bench bench-parallel bench-json bench-check clean
+.PHONY: all build vet fmt-check vulncheck verify test test-race fuzz crash bench bench-parallel bench-json bench-check clean
 
 all: verify
 
@@ -35,9 +37,21 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-verify: vet fmt-check build
+# Vulnerability scan when govulncheck is installed; static analysis via
+# staticcheck as the offline fallback; a visible skip when the
+# container has neither (the gate must not depend on network access).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	elif command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "vulncheck: neither govulncheck nor staticcheck installed; skipping"; \
+	fi
+
+verify: vet fmt-check build vulncheck
 	$(GO) test -shuffle=on ./...
-	$(GO) test -race -count=1 ./internal/gateway/... ./internal/learn/... ./internal/obs/... ./internal/store/...
+	$(GO) test -race -count=1 ./internal/fleet/... ./internal/gateway/... ./internal/learn/... ./internal/obs/... ./internal/store/...
 	$(MAKE) crash
 	$(MAKE) fuzz
 
@@ -51,7 +65,7 @@ test: vet build
 	$(GO) test -shuffle=on ./...
 
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/gateway/... ./internal/iotssp/... ./internal/learn/... ./internal/sdn/...
+	$(GO) test -race ./internal/core/... ./internal/fleet/... ./internal/gateway/... ./internal/iotssp/... ./internal/learn/... ./internal/sdn/...
 
 fuzz:
 	$(GO) test -fuzz='^FuzzReadPcap$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
@@ -59,6 +73,8 @@ fuzz:
 	$(GO) test -fuzz='^FuzzLoad$$' -fuzztime=$(FUZZTIME) ./internal/ml/rf/
 	$(GO) test -fuzz='^FuzzBandedDistance$$' -fuzztime=$(FUZZTIME) ./internal/editdist/
 	$(GO) test -fuzz='^FuzzClusterLinkage$$' -fuzztime=$(FUZZTIME) ./internal/learn/
+	$(GO) test -fuzz='^FuzzFrameDecoder$$' -fuzztime=$(FUZZTIME) ./internal/fleet/
+	$(GO) test -fuzz='^FuzzBatchDecoder$$' -fuzztime=$(FUZZTIME) ./internal/fleet/
 
 # The crash fault-injection sweep: journal torn-tail truncation at
 # every byte, single-byte corruption at every byte, snapshot damage,

@@ -10,6 +10,15 @@
 //	gatewayd -replay ./dataset -api 127.0.0.1:8080     # replay pcaps, then serve
 //	gatewayd -metrics-addr 127.0.0.1:9090              # also serve /metrics + pprof
 //	gatewayd -state-dir /var/lib/gatewayd              # durable state + warm boot
+//	gatewayd -fleet host:8478 -fleet-id gw-kitchen     # join an iotsspd fleet
+//
+// With -fleet, the gateway keeps its fast in-process service but joins
+// an iotsspd fleet over a persistent binary-framed link: observed
+// fingerprints stream up for central aggregation and learning,
+// heartbeats keep the registration lease alive, and versioned model
+// banks pushed down (including canary rollout candidates) hot-swap
+// into the local service without dropping a packet. Link errors are
+// log-only — the local bank keeps serving offline.
 //
 // With -state-dir, device lifecycle state is journaled and the trained
 // model bank is persisted: a restart recovers every device, its
@@ -20,6 +29,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -40,6 +50,7 @@ import (
 	"iotsentinel/internal/core"
 	"iotsentinel/internal/devices"
 	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/fleet"
 	"iotsentinel/internal/gateway"
 	"iotsentinel/internal/iotssp"
 	"iotsentinel/internal/learn"
@@ -77,6 +88,8 @@ func run(args []string, out io.Writer) error {
 		stateDir      = fs.String("state-dir", "", "directory for the durable journal, snapshots, and model store (default: in-memory only)")
 		learnOn       = fs.Bool("learn", false, "learn new device-types online from clusters of unknown devices (in-process service only)")
 		learnK        = fs.Int("learn-k", learn.DefaultK, "unknown-cluster size that proposes a new device-type")
+		fleetAddr     = fs.String("fleet", "", "iotsspd fleet address (host:port); stream fingerprints up, receive model banks down (in-process service only)")
+		fleetID       = fs.String("fleet-id", "", "stable gateway identity in the fleet (default: hostname)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +135,51 @@ func run(args []string, out io.Writer) error {
 	}
 	if learner != nil {
 		defer learner.Close()
+	}
+
+	// Fleet link: register with the central iotsspd, stream observed
+	// fingerprints up the persistent connection, and hot-swap model
+	// banks pushed down into the local service. The assessor wrapper
+	// keeps the fast local path — the link only adds telemetry.
+	if *fleetAddr != "" {
+		if svc == nil {
+			return fmt.Errorf("-fleet requires the in-process service (remove -ssp)")
+		}
+		gwID := *fleetID
+		if gwID == "" {
+			h, err := os.Hostname()
+			if err != nil || h == "" {
+				return fmt.Errorf("-fleet-id required (hostname unavailable: %v)", err)
+			}
+			gwID = h
+		}
+		fleetCl, err := fleet.Dial(fleet.ClientConfig{
+			Addr:      *fleetAddr,
+			GatewayID: gwID,
+			ApplyModel: func(sha string, model []byte) error {
+				if err := applyFleetModel(svc, model, *workers, *cacheSize); err != nil {
+					return err
+				}
+				if st != nil {
+					// Persist the adopted bank so the next boot serves
+					// the fleet version warm (best effort: the fleet
+					// re-pushes on the next connect either way).
+					if _, err := st.Models().Save(svc.Identifier()); err != nil {
+						fmt.Fprintf(out, "fleet: persist pushed model %.12s: %v\n", sha, err)
+					}
+				}
+				fmt.Fprintf(out, "fleet: hot-swapped pushed model %.12s\n", sha)
+				return nil
+			},
+			FlushInterval: time.Second,
+			Logf:          func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) },
+		})
+		if err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		defer fleetCl.Close()
+		assessor = &fleetAssessor{inner: svc, cl: fleetCl}
+		fmt.Fprintf(out, "fleet: linked to %s as %q\n", *fleetAddr, gwID)
 	}
 
 	cache := sdn.NewRuleCache()
@@ -405,6 +463,54 @@ func buildLearner(out io.Writer, reg *obs.Registry, st *store.Store, svc *iotssp
 	}
 	fmt.Fprintf(out, "learn: online device-type learning enabled (k=%d)\n", cfg.K)
 	return l, nil
+}
+
+// fleetAssessor decorates the in-process service with the fleet link:
+// every assessment bumps the cumulative counters canary rollouts are
+// judged by, and every assessed fingerprint streams to the central
+// service. Streaming is fire-and-forget — a dead link never fails a
+// local assessment.
+type fleetAssessor struct {
+	inner *iotssp.Service
+	cl    *fleet.Client
+}
+
+func (fa *fleetAssessor) Assess(fp fingerprint.Fingerprint) (iotssp.Assessment, error) {
+	a, err := fa.inner.Assess(fp)
+	if err == nil {
+		fa.cl.RecordAssessment(!a.Known)
+		_ = fa.cl.Observe(fp)
+	}
+	return a, err
+}
+
+func (fa *fleetAssessor) AssessBatch(fps []fingerprint.Fingerprint) ([]iotssp.Assessment, error) {
+	as, err := fa.inner.AssessBatch(fps)
+	if err == nil {
+		for i, a := range as {
+			fa.cl.RecordAssessment(!a.Known)
+			_ = fa.cl.Observe(fps[i])
+		}
+	}
+	return as, err
+}
+
+// applyFleetModel deserializes a pushed model blob, re-applies the
+// runtime knobs the wire form deliberately does not carry, carries the
+// outgoing bank's metrics bundle forward, and swaps it in through the
+// service's validated hot-swap path — the same sequence as the SIGHUP
+// reload, with the bytes arriving over the fleet link instead of from
+// disk.
+func applyFleetModel(svc *iotssp.Service, model []byte, workers, cacheSize int) error {
+	id, err := core.LoadIdentifier(bytes.NewReader(model))
+	if err != nil {
+		return err
+	}
+	if err := id.ApplyRuntime(workers, cacheSize); err != nil {
+		return err
+	}
+	id.SetMetrics(svc.Identifier().Metrics())
+	return svc.ReplaceIdentifier(id)
 }
 
 // metricsMux serves the observability endpoints: Prometheus-text

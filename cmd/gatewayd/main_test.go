@@ -14,6 +14,7 @@ import (
 	"iotsentinel/internal/devices"
 	"iotsentinel/internal/fingerprint"
 	"iotsentinel/internal/iotssp"
+	"iotsentinel/internal/learn"
 	"iotsentinel/internal/obs"
 	"iotsentinel/internal/store"
 	"iotsentinel/internal/vulndb"
@@ -408,5 +409,92 @@ func TestLearnRequiresInProcessService(t *testing.T) {
 	err := run([]string{"-oneshot", "-learn", "-ssp", "http://127.0.0.1:1"}, &bytes.Buffer{})
 	if err == nil || !strings.Contains(err.Error(), "-learn requires the in-process service") {
 		t.Errorf("-learn with -ssp must fail with a pointed error, got %v", err)
+	}
+}
+
+// TestFleetRequiresInProcessService: the fleet link hot-swaps pushed
+// banks into a local service; with -ssp there is no local bank.
+func TestFleetRequiresInProcessService(t *testing.T) {
+	err := run([]string{"-oneshot", "-fleet", "127.0.0.1:1", "-ssp", "http://127.0.0.1:1"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-fleet requires the in-process service") {
+		t.Errorf("-fleet with -ssp must fail with a pointed error, got %v", err)
+	}
+}
+
+// TestGatewaydRemoteLearnEndToEnd drives the remote unknown-device
+// loop: gatewayd runs as a pure HTTP client against a learning
+// service (wired exactly as `iotsspd -learn` wires it — PromoteType
+// closure, HasType, unknown sink off the assess path). Unknown
+// MAXGateway devices reported by the remote gateway cluster
+// service-side, a type is trained and hot-swapped into the serving
+// bank, and the gateway's next assessments of that device type come
+// back known instead of quarantined.
+func TestGatewaydRemoteLearnEndToEnd(t *testing.T) {
+	raw := devices.GenerateDataset(12, 9)
+	ds := make(map[core.TypeID][]fingerprint.Fingerprint)
+	for _, typ := range []string{"Aria", "HueBridge", "EdnetCam", "iKettle2", "WeMoSwitch"} {
+		ds[core.TypeID(typ)] = raw[typ]
+	}
+	bank, err := core.Train(ds, core.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := iotssp.New(bank, vulndb.NewDefault())
+	learner, err := learn.New(learn.Config{
+		K: 3,
+		Promote: func(typ core.TypeID, fps []fingerprint.Fingerprint) (*core.Identifier, error) {
+			return svc.PromoteType(typ, fps, iotssp.PromoteOptions{})
+		},
+		Known: svc.HasType,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer learner.Close()
+	svc.SetUnknownSink(learner.Observe)
+	srv := httptest.NewServer(iotssp.Handler(svc))
+	defer srv.Close()
+
+	// First boot: the remote gateway replays unknown devices; every
+	// assessment 200s with Known=false, so the devices quarantine
+	// locally while their fingerprints cluster service-side.
+	firstReplay := t.TempDir()
+	writeDistinctCaptures(t, firstReplay, "MAXGateway", 4)
+	var first bytes.Buffer
+	if err := run([]string{"-replay", firstReplay, "-oneshot", "-ssp", srv.URL}, &first); err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	if s := first.String(); !strings.Contains(s, "quarantined") {
+		t.Errorf("unknown devices were not quarantined on first contact:\n%s", s)
+	}
+
+	// Promotion trains in the background on the service; wait until the
+	// learned type serves.
+	learner.Wait()
+	found := false
+	for _, typ := range svc.Types() {
+		if strings.HasPrefix(string(typ), "learned-") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("service never promoted a learned type; types = %v", svc.Types())
+	}
+
+	// Second boot: fresh MAXGateway devices assess against the updated
+	// service and come back known — served to the remote gateway
+	// without it restarting anything locally.
+	secondReplay := t.TempDir()
+	writeDistinctCaptures(t, secondReplay, "MAXGateway", 3)
+	var second bytes.Buffer
+	if err := run([]string{"-replay", secondReplay, "-oneshot", "-ssp", srv.URL}, &second); err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	s := second.String()
+	if !strings.Contains(s, `as "learned-0001"`) {
+		t.Errorf("remote gateway not served the learned type:\n%s", s)
+	}
+	if !strings.Contains(s, "0 quarantined") {
+		t.Errorf("devices still quarantined after the service learned the type:\n%s", s)
 	}
 }

@@ -9,11 +9,25 @@
 //	iotsspd -listen :8477                      # train on the reference dataset
 //	iotsspd -listen :8477 -model model.json    # serve a saved model
 //	iotsspd -metrics-addr 127.0.0.1:9091       # also serve /metrics + pprof
+//	iotsspd -fleet-listen :8478 -state-dir ./state
+//	                                           # fleet control plane + canary rollouts
 //
 // Endpoints: POST /v1/assess, GET /v1/types (see internal/iotssp).
+//
+// With -fleet-listen, gateways running `gatewayd -fleet` register over
+// a persistent binary-framed connection: they stream observed
+// fingerprints up (replacing per-fingerprint HTTP JSON for fleet
+// members), heartbeat to keep their lease, and receive versioned model
+// banks down. Combined with -learn, a locally promoted device-type
+// becomes a rollout candidate: it canaries to a fraction of the fleet,
+// auto-promotes fleet-wide when the canary unknown-rate holds, and
+// auto-rolls back (including this daemon's own serving bank) on
+// regression. With -state-dir the rollout state machine is journaled
+// and resumes after a crash.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -30,9 +44,11 @@ import (
 	"iotsentinel/internal/core"
 	"iotsentinel/internal/devices"
 	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/fleet"
 	"iotsentinel/internal/iotssp"
 	"iotsentinel/internal/learn"
 	"iotsentinel/internal/obs"
+	"iotsentinel/internal/store"
 	"iotsentinel/internal/vulndb"
 )
 
@@ -56,9 +72,20 @@ func run(args []string, out io.Writer) error {
 		cacheSize     = fs.Int("cache-size", core.DefaultCacheSize, "identification-cache entries (0 = disabled)")
 		learnOn       = fs.Bool("learn", false, "learn new device-types online from clusters of unknown devices")
 		learnK        = fs.Int("learn-k", learn.DefaultK, "unknown-cluster size that proposes a new device-type")
+		fleetListen   = fs.String("fleet-listen", "", "listen address for the binary fleet protocol (default: disabled)")
+		fleetLease    = fs.Duration("fleet-lease", fleet.DefaultLease, "gateway registration lease; any frame refreshes it")
+		stateDir      = fs.String("state-dir", "", "directory for the rollout journal and versioned model store (default: in-memory only)")
+		canaryFrac    = fs.Float64("canary-fraction", 0.25, "fraction of the fleet that canaries a new model bank")
+		canaryMin     = fs.Uint64("canary-min-samples", 20, "assessments each canary must report before a rollout is judged")
+		canaryDelta   = fs.Float64("canary-max-unknown", 0.05, "max tolerated canary unknown-rate excess over the baseline before rollback")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
 	}
 
 	var id *core.Identifier
@@ -92,32 +119,187 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if reg != nil {
+		id.SetMetrics(core.NewMetrics(reg))
+	}
 	svc := iotssp.New(id, vulndb.NewDefault())
+
+	// Durable state for the fleet control plane and the learner: the
+	// rollout journal and the versioned model store live here so a
+	// crashed controller resumes mid-rollout.
+	var st *store.Store
+	var rec *store.Recovery
+	if *stateDir != "" {
+		var stMetrics *store.Metrics
+		if reg != nil {
+			stMetrics = store.NewMetrics(reg)
+		}
+		var err error
+		st, rec, err = store.Open(*stateDir, store.Options{
+			Metrics: stMetrics,
+			Logf:    func(format string, a ...any) { fmt.Fprintf(out, "state: "+format+"\n", a...) },
+		})
+		if err != nil {
+			return fmt.Errorf("state dir: %w", err)
+		}
+		defer func() { _ = st.Close() }()
+	}
+
+	// Fleet control plane: registry + rollout controller + binary
+	// protocol server. Streamed fingerprints flow through the same
+	// AssessBatch path (and unknown sink) as the HTTP API.
+	var ctrl *fleet.Controller
+	if *fleetListen != "" {
+		var fm *fleet.Metrics
+		if reg != nil {
+			fm = fleet.NewMetrics(reg)
+		}
+		registry := fleet.NewRegistry(*fleetLease, fm)
+		var models *store.ModelStore
+		if st != nil {
+			models = st.Models()
+		}
+		var err error
+		ctrl, err = fleet.NewController(fleet.ControllerConfig{
+			Registry: registry,
+			Policy: fleet.Policy{
+				CanaryFraction:  *canaryFrac,
+				MinSamples:      *canaryMin,
+				MaxUnknownDelta: *canaryDelta,
+			},
+			Store:  st,
+			Models: models,
+			// A rollback restores this daemon's own serving bank too:
+			// the candidate was hot-swapped in at promotion time, and a
+			// fleet that rejected it must not keep being served by it
+			// centrally.
+			OnRollback: func(sha string, model []byte) {
+				if model == nil {
+					return
+				}
+				if err := swapServingBank(svc, model, *workers, *cacheSize); err != nil {
+					fmt.Fprintf(out, "fleet: central bank rollback to %.12s failed: %v\n", sha, err)
+					return
+				}
+				fmt.Fprintf(out, "fleet: central bank reverted to %.12s after rollback\n", sha)
+			},
+			Metrics: fm,
+			Logf:    func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+
+		// The live bank is the fleet's current version; newly
+		// registering gateways converge onto it.
+		var buf bytes.Buffer
+		if err := svc.Identifier().Save(&buf); err != nil {
+			return fmt.Errorf("serialize serving bank: %w", err)
+		}
+		sha, err := ctrl.SetCurrent(buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("fleet: register serving bank: %w", err)
+		}
+		fmt.Fprintf(out, "fleet: serving bank is model %.12s\n", sha)
+		if rec != nil {
+			if err := ctrl.Recover(rec); err != nil {
+				return fmt.Errorf("fleet recover: %w", err)
+			}
+		}
+
+		fsrv, err := fleet.NewServer(fleet.ServerConfig{
+			Registry:   registry,
+			Controller: ctrl,
+			Ingest: func(fps []fingerprint.Fingerprint) int {
+				as, err := svc.AssessBatch(fps)
+				if err != nil {
+					return 0
+				}
+				unknown := 0
+				for _, a := range as {
+					if !a.Known {
+						unknown++
+					}
+				}
+				return unknown
+			},
+			Metrics: fm,
+			Logf:    func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		fln, err := net.Listen("tcp", *fleetListen)
+		if err != nil {
+			return fmt.Errorf("fleet listen: %w", err)
+		}
+		fmt.Fprintf(out, "fleet control plane listening on %s (lease %s, canary %.0f%%)\n",
+			fln.Addr(), *fleetLease, *canaryFrac*100)
+		go func() { _ = fsrv.Serve(fln) }()
+		defer func() { _ = fsrv.Close() }()
+	}
 
 	if *learnOn {
 		// Unknown fingerprints feed the clusterer straight off the assess
-		// path; promoted types hot-swap into the serving bank. Without a
-		// state dir this daemon's learned types live only in memory — the
-		// gateway side (gatewayd -learn -state-dir) is the durable setup.
-		l, err := learn.New(learn.Config{
+		// path (HTTP and fleet-streamed alike); promoted types hot-swap
+		// into the serving bank. With -fleet-listen each promotion also
+		// becomes a canary rollout candidate for the gateway fleet; with
+		// -state-dir clusters and promotions are journaled.
+		cfg := learn.Config{
 			K: *learnK,
 			Promote: func(t core.TypeID, fps []fingerprint.Fingerprint) (*core.Identifier, error) {
 				return svc.PromoteType(t, fps, iotssp.PromoteOptions{})
 			},
 			Known: svc.HasType,
+			Store: st,
 			Logf:  func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) },
-		})
+		}
+		if reg != nil {
+			cfg.Metrics = learn.NewMetrics(reg)
+		}
+		if st != nil {
+			ms := st.Models()
+			cfg.Persist = func(id *core.Identifier) error {
+				_, err := ms.Save(id)
+				return err
+			}
+		}
+		if ctrl != nil {
+			cfg.OnPromoted = func(t core.TypeID, bank *core.Identifier) {
+				var buf bytes.Buffer
+				if err := bank.Save(&buf); err != nil {
+					fmt.Fprintf(out, "fleet: serialize promoted bank: %v\n", err)
+					return
+				}
+				sha, err := ctrl.StartRollout(buf.Bytes())
+				if err != nil {
+					// Typically ErrRolloutInFlight: the next promotion
+					// retries with an even newer bank.
+					fmt.Fprintf(out, "fleet: rollout of promoted type %q not started: %v\n", t, err)
+					return
+				}
+				fmt.Fprintf(out, "fleet: promoted type %q canarying as model %.12s\n", t, sha)
+			}
+		}
+		l, err := learn.New(cfg)
 		if err != nil {
 			return err
 		}
 		defer l.Close()
+		if st != nil && rec != nil {
+			stats, err := l.Recover(rec)
+			if err != nil {
+				return fmt.Errorf("learn recover: %w", err)
+			}
+			fmt.Fprintf(out, "learn: recovered %s\n", stats)
+		}
 		svc.SetUnknownSink(l.Observe)
 		fmt.Fprintf(out, "learn: online device-type learning enabled (k=%d)\n", *learnK)
 	}
 
-	if *metricsAddr != "" {
-		reg := obs.NewRegistry()
-		id.SetMetrics(core.NewMetrics(reg))
+	var srvMetrics *iotssp.ServerMetrics
+	if reg != nil {
+		srvMetrics = iotssp.NewServerMetrics(reg)
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listen: %w", err)
@@ -139,7 +321,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	handler := iotssp.Handler(svc)
+	handler := iotssp.HandlerWithMetrics(svc, srvMetrics)
 	if *assessTimeout > 0 {
 		// A wedged classification must not pin the connection forever:
 		// the handler 503s at the cap and the gateway-side retry policy
@@ -170,4 +352,20 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+}
+
+// swapServingBank deserializes a model blob, re-applies the runtime
+// knobs the persisted form deliberately does not carry, carries the
+// outgoing bank's metrics bundle forward, and swaps it in through the
+// service's validated hot-swap path.
+func swapServingBank(svc *iotssp.Service, model []byte, workers, cacheSize int) error {
+	id, err := core.LoadIdentifier(bytes.NewReader(model))
+	if err != nil {
+		return err
+	}
+	if err := id.ApplyRuntime(workers, cacheSize); err != nil {
+		return err
+	}
+	id.SetMetrics(svc.Identifier().Metrics())
+	return svc.ReplaceIdentifier(id)
 }

@@ -1,0 +1,365 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"iotsentinel/internal/fingerprint"
+)
+
+// ClientConfig wires a fleet client (the gateway side of the link).
+type ClientConfig struct {
+	// Addr is the fleet server address (host:port). Ignored when
+	// Dialer is set.
+	Addr string
+	// GatewayID is this gateway's stable identity (required).
+	GatewayID string
+	// ModelSHA is the hex SHA-256 of the bank the gateway serves at
+	// connect time ("" for none); the server pushes the fleet version
+	// when they differ.
+	ModelSHA string
+	// ApplyModel, if set, is called from the reader goroutine for each
+	// model push; a nil return acknowledges the bank as applied, an
+	// error is reported back to the service (and, for a canary,
+	// fails the rollout). A nil ApplyModel rejects every push.
+	ApplyModel func(sha string, model []byte) error
+	// BatchSize is how many buffered fingerprints trigger an automatic
+	// flush (0 selects 64).
+	BatchSize int
+	// FlushInterval, if > 0, flushes buffered fingerprints and
+	// counters on a timer even when BatchSize is never reached.
+	FlushInterval time.Duration
+	// Heartbeat overrides the heartbeat period (0 selects a third of
+	// the server-granted lease).
+	Heartbeat time.Duration
+	// Dialer overrides how the connection is made (tests use
+	// net.Pipe); nil dials TCP to Addr.
+	Dialer func() (net.Conn, error)
+	// Logf, if set, receives lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Client is a gateway's persistent link to the fleet server: it
+// streams observed fingerprints up in binary batches, reports
+// cumulative assess/unknown counters, refreshes its lease with
+// heartbeats, and applies model banks pushed down. The client does not
+// reconnect: when the link dies the owner decides (gatewayd logs and
+// keeps serving its local bank; tests dial a fresh client).
+type Client struct {
+	cfg   ClientConfig
+	c     net.Conn
+	lease time.Duration
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	buf      []fingerprint.Fingerprint
+	assessed uint64
+	unknown  uint64
+	sentA    uint64 // last counters written to the wire
+	sentU    uint64
+	modelSHA string
+	err      error
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Dial connects, performs the hello/welcome handshake, and starts the
+// reader and heartbeat goroutines.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.GatewayID == "" {
+		return nil, errors.New("fleet: ClientConfig.GatewayID is required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	dial := cfg.Dialer
+	if dial == nil {
+		addr := cfg.Addr
+		dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dial: %w", err)
+	}
+	cl := &Client{
+		cfg:      cfg,
+		c:        conn,
+		modelSHA: cfg.ModelSHA,
+		done:     make(chan struct{}),
+	}
+	if err := cl.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	cl.wg.Add(2)
+	go cl.readLoop()
+	go cl.tickLoop()
+	return cl, nil
+}
+
+func (cl *Client) logf(format string, args ...any) {
+	if cl.cfg.Logf != nil {
+		cl.cfg.Logf(format, args...)
+	}
+}
+
+func (cl *Client) handshake() error {
+	hello := helloMsg{
+		Versions:  supportedVersions,
+		GatewayID: cl.cfg.GatewayID,
+		ModelSHA:  cl.cfg.ModelSHA,
+	}
+	if err := cl.writeJSON(ftHello, hello); err != nil {
+		return fmt.Errorf("fleet: hello: %w", err)
+	}
+	t, payload, err := readFrame(cl.c)
+	if err != nil {
+		return fmt.Errorf("fleet: handshake: %w", err)
+	}
+	switch t {
+	case ftWelcome:
+		var w welcomeMsg
+		if err := json.Unmarshal(payload, &w); err != nil {
+			return fmt.Errorf("fleet: malformed welcome: %w", err)
+		}
+		if _, ok := negotiate([]uint32{w.Version}); !ok {
+			return fmt.Errorf("fleet: server picked unsupported protocol v%d", w.Version)
+		}
+		cl.lease = time.Duration(w.LeaseMillis) * time.Millisecond
+		cl.logf("fleet: registered as %s (protocol v%d, lease %s, fleet model %.12s)",
+			cl.cfg.GatewayID, w.Version, cl.lease, w.ModelSHA)
+		return nil
+	case ftError:
+		var em errorMsg
+		json.Unmarshal(payload, &em)
+		return fmt.Errorf("fleet: server rejected registration: %s", em.Msg)
+	default:
+		return fmt.Errorf("fleet: expected welcome, got %s", t)
+	}
+}
+
+func (cl *Client) write(t frameType, payload []byte) error {
+	cl.writeMu.Lock()
+	defer cl.writeMu.Unlock()
+	return writeFrame(cl.c, t, payload)
+}
+
+func (cl *Client) writeJSON(t frameType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("fleet: marshal %s: %w", t, err)
+	}
+	return cl.write(t, payload)
+}
+
+// fatal records the first terminal error and tears the link down.
+func (cl *Client) fatal(err error) {
+	cl.mu.Lock()
+	if cl.err == nil && !cl.closed {
+		cl.err = err
+	}
+	alreadyClosed := cl.closed
+	cl.closed = true
+	cl.mu.Unlock()
+	if !alreadyClosed {
+		close(cl.done)
+		cl.c.Close()
+	}
+}
+
+// Err returns the error that tore the link down, if any.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
+// ModelSHA returns the hex SHA-256 of the last bank this client
+// acknowledged applying (or the connect-time value).
+func (cl *Client) ModelSHA() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.modelSHA
+}
+
+// Observe buffers one fingerprint for streaming; the buffer flushes at
+// BatchSize (and on the FlushInterval timer, and on Flush).
+func (cl *Client) Observe(fp fingerprint.Fingerprint) error {
+	cl.mu.Lock()
+	if cl.closed {
+		err := cl.err
+		cl.mu.Unlock()
+		if err == nil {
+			err = errors.New("fleet: client closed")
+		}
+		return err
+	}
+	cl.buf = append(cl.buf, fp)
+	full := len(cl.buf) >= cl.cfg.BatchSize
+	cl.mu.Unlock()
+	if full {
+		return cl.Flush()
+	}
+	return nil
+}
+
+// RecordAssessment bumps the cumulative counters the service judges
+// canaries by; they travel with the next flush or heartbeat.
+func (cl *Client) RecordAssessment(unknown bool) {
+	cl.mu.Lock()
+	cl.assessed++
+	if unknown {
+		cl.unknown++
+	}
+	cl.mu.Unlock()
+}
+
+// Flush writes any buffered fingerprints as one batch frame, then any
+// changed counters.
+func (cl *Client) Flush() error {
+	cl.mu.Lock()
+	buf := cl.buf
+	cl.buf = nil
+	cl.mu.Unlock()
+	if len(buf) > 0 {
+		payload, err := encodeBatch(nil, buf)
+		if err != nil {
+			return err
+		}
+		if err := cl.write(ftBatch, payload); err != nil {
+			cl.fatal(err)
+			return err
+		}
+	}
+	return cl.sendCounters()
+}
+
+// sendCounters writes the cumulative counters if they moved since the
+// last send.
+func (cl *Client) sendCounters() error {
+	cl.mu.Lock()
+	a, u := cl.assessed, cl.unknown
+	dirty := a != cl.sentA || u != cl.sentU
+	if dirty {
+		cl.sentA, cl.sentU = a, u
+	}
+	cl.mu.Unlock()
+	if !dirty {
+		return nil
+	}
+	if err := cl.write(ftCounters, encodeCounters(a, u)); err != nil {
+		cl.fatal(err)
+		return err
+	}
+	return nil
+}
+
+// readLoop handles frames from the service: batch acks, model pushes,
+// errors.
+func (cl *Client) readLoop() {
+	defer cl.wg.Done()
+	for {
+		t, payload, err := readFrame(cl.c)
+		if err != nil {
+			cl.fatal(fmt.Errorf("fleet: link read: %w", err))
+			return
+		}
+		switch t {
+		case ftBatchAck:
+			// Informational; the service's counters are authoritative
+			// on its side, ours on this side.
+		case ftModelPush:
+			cl.handleModelPush(payload)
+		case ftError:
+			var em errorMsg
+			json.Unmarshal(payload, &em)
+			cl.fatal(fmt.Errorf("fleet: server error: %s", em.Msg))
+			return
+		default:
+			cl.fatal(fmt.Errorf("fleet: unexpected frame %s from server", t))
+			return
+		}
+	}
+}
+
+// handleModelPush verifies the pushed blob against its SHA, hands it
+// to ApplyModel, and acks the outcome.
+func (cl *Client) handleModelPush(payload []byte) {
+	sha, model, err := decodeModelPush(payload)
+	if err != nil {
+		cl.fatal(err)
+		return
+	}
+	hexSHA := hex.EncodeToString(sha[:])
+	ack := modelAckMsg{SHA: hexSHA}
+	if got := sha256.Sum256(model); got != sha {
+		ack.Error = "model blob does not match its SHA-256"
+	} else if cl.cfg.ApplyModel == nil {
+		ack.Error = "gateway does not accept model pushes"
+	} else if err := cl.cfg.ApplyModel(hexSHA, model); err != nil {
+		ack.Error = err.Error()
+	} else {
+		ack.OK = true
+		cl.mu.Lock()
+		cl.modelSHA = hexSHA
+		cl.mu.Unlock()
+		cl.logf("fleet: applied pushed model %.12s", hexSHA)
+	}
+	if ack.Error != "" {
+		cl.logf("fleet: rejected pushed model %.12s: %s", hexSHA, ack.Error)
+	}
+	if err := cl.writeJSON(ftModelAck, ack); err != nil {
+		cl.fatal(err)
+	}
+}
+
+// tickLoop refreshes the lease and drains buffers on timers.
+func (cl *Client) tickLoop() {
+	defer cl.wg.Done()
+	hb := cl.cfg.Heartbeat
+	if hb <= 0 {
+		hb = cl.lease / 3
+	}
+	if hb <= 0 {
+		hb = DefaultLease / 3
+	}
+	hbT := time.NewTicker(hb)
+	defer hbT.Stop()
+	var flushC <-chan time.Time
+	if cl.cfg.FlushInterval > 0 {
+		flushT := time.NewTicker(cl.cfg.FlushInterval)
+		defer flushT.Stop()
+		flushC = flushT.C
+	}
+	for {
+		select {
+		case <-cl.done:
+			return
+		case <-hbT.C:
+			if err := cl.write(ftHeartbeat, nil); err != nil {
+				cl.fatal(err)
+				return
+			}
+			cl.sendCounters()
+		case <-flushC:
+			cl.Flush()
+		}
+	}
+}
+
+// Close flushes what it can and tears the link down.
+func (cl *Client) Close() error {
+	cl.Flush()
+	cl.fatal(nil)
+	cl.wg.Wait()
+	return nil
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"iotsentinel/internal/obs"
+)
+
+// Metrics instruments the fleet control plane. A nil bundle disables
+// instrumentation everywhere it is passed.
+//
+// Exported series:
+//
+//	fleet_gateways                                    gauge
+//	fleet_lease_expiries_total                        counter
+//	fleet_frames_total{type}                          counter
+//	fleet_batches_total                               counter
+//	fleet_fingerprints_total                          counter
+//	fleet_batch_bytes                                 histogram
+//	fleet_model_pushes_total                          counter
+//	fleet_model_push_bytes                            histogram
+//	fleet_model_acks_total{result="ok|error"}         counter
+//	fleet_rollouts_total{outcome="promoted|rolled_back"} counter
+//	fleet_rollout_canarying                           gauge
+type Metrics struct {
+	gateways      *obs.Gauge
+	leaseExpiries *obs.Counter
+	frames        *obs.CounterVec
+	batches       *obs.Counter
+	fingerprints  *obs.Counter
+	batchBytes    *obs.Histogram
+	modelPushes   *obs.Counter
+	modelBytes    *obs.Histogram
+	ackOK         *obs.Counter
+	ackErr        *obs.Counter
+	promoted      *obs.Counter
+	rolledBack    *obs.Counter
+	canarying     *obs.Gauge
+}
+
+// NewMetrics registers the fleet metric family on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	acks := reg.CounterVec("fleet_model_acks_total",
+		"Model-apply acknowledgements from gateways, by result.", "result")
+	rollouts := reg.CounterVec("fleet_rollouts_total",
+		"Completed model rollouts, by outcome.", "outcome")
+	return &Metrics{
+		gateways: reg.Gauge("fleet_gateways",
+			"Gateways currently registered with a live lease."),
+		leaseExpiries: reg.Counter("fleet_lease_expiries_total",
+			"Gateway registrations dropped because the lease expired."),
+		frames: reg.CounterVec("fleet_frames_total",
+			"Frames received from gateways, by frame type.", "type"),
+		batches: reg.Counter("fleet_batches_total",
+			"Fingerprint batch frames ingested."),
+		fingerprints: reg.Counter("fleet_fingerprints_total",
+			"Fingerprints ingested from streamed batches."),
+		batchBytes: reg.Histogram("fleet_batch_bytes",
+			"Fingerprint batch frame payload sizes.", obs.SizeBuckets),
+		modelPushes: reg.Counter("fleet_model_pushes_total",
+			"Model banks pushed down to gateways."),
+		modelBytes: reg.Histogram("fleet_model_push_bytes",
+			"Model push payload sizes.", obs.SizeBuckets),
+		ackOK:      acks.With("ok"),
+		ackErr:     acks.With("error"),
+		promoted:   rollouts.With("promoted"),
+		rolledBack: rollouts.With("rolled_back"),
+		canarying: reg.Gauge("fleet_rollout_canarying",
+			"1 while a canary rollout is in flight, else 0."),
+	}
+}
+
+func (m *Metrics) setGateways(n int) {
+	if m != nil {
+		m.gateways.Set(int64(n))
+	}
+}
+
+func (m *Metrics) incLeaseExpiry() {
+	if m != nil {
+		m.leaseExpiries.Inc()
+	}
+}
+
+func (m *Metrics) incFrame(t frameType) {
+	if m != nil {
+		m.frames.With(t.String()).Inc()
+	}
+}
+
+func (m *Metrics) observeBatch(fingerprints, payloadBytes int) {
+	if m != nil {
+		m.batches.Inc()
+		m.fingerprints.Add(uint64(fingerprints))
+		m.batchBytes.Observe(float64(payloadBytes))
+	}
+}
+
+func (m *Metrics) incModelPush(payloadBytes int) {
+	if m != nil {
+		m.modelPushes.Inc()
+		m.modelBytes.Observe(float64(payloadBytes))
+	}
+}
+
+func (m *Metrics) incModelAck(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.ackOK.Inc()
+	} else {
+		m.ackErr.Inc()
+	}
+}
+
+func (m *Metrics) incRollout(promoted bool) {
+	if m == nil {
+		return
+	}
+	if promoted {
+		m.promoted.Inc()
+	} else {
+		m.rolledBack.Inc()
+	}
+}
+
+func (m *Metrics) setCanarying(on bool) {
+	if m == nil {
+		return
+	}
+	if on {
+		m.canarying.Set(1)
+	} else {
+		m.canarying.Set(0)
+	}
+}

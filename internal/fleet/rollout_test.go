@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/store"
+)
+
+// testController builds a controller over a journaled store in dir and
+// a registry with the given gateways pre-registered (no connections:
+// pushes fail best-effort, which the controller tolerates; the state
+// machine is what these tests exercise).
+func testController(t *testing.T, dir string, gateways ...string) (*Controller, *Registry, *store.Store, *store.Recovery) {
+	t.Helper()
+	st, rec, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	reg := NewRegistry(time.Hour, nil)
+	now := time.Now()
+	for _, id := range gateways {
+		reg.register(id, nil, now)
+	}
+	ctrl, err := NewController(ControllerConfig{
+		Registry: reg,
+		Policy:   Policy{CanaryFraction: 0.25, MinSamples: 20, MaxUnknownDelta: 0.05},
+		Store:    st,
+		Models:   st.Models(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	return ctrl, reg, st, rec
+}
+
+// journalKinds reopens dir's journal and returns the rollout event
+// kinds in append order.
+func journalKinds(t *testing.T, dir string) []store.EventKind {
+	t.Helper()
+	st, rec, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open (replay): %v", err)
+	}
+	defer st.Close()
+	var kinds []store.EventKind
+	for _, ev := range rec.Events {
+		switch ev.Kind {
+		case store.EvRolloutStarted, store.EvRolloutPromoted, store.EvRolloutRolledBack:
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	return kinds
+}
+
+func TestRolloutPromotesWhenCanaryHolds(t *testing.T) {
+	dir := t.TempDir()
+	ctrl, reg, st, _ := testController(t, dir, "g1", "g2", "g3", "g4")
+
+	shaA, err := ctrl.SetCurrent([]byte("bank-A"))
+	if err != nil {
+		t.Fatalf("SetCurrent: %v", err)
+	}
+	for _, id := range reg.IDs() {
+		reg.setCounters(id, 100, 5) // 5% fleet unknown-rate before the rollout
+	}
+
+	shaB, err := ctrl.StartRollout([]byte("bank-B"))
+	if err != nil {
+		t.Fatalf("StartRollout: %v", err)
+	}
+	st.Sync()
+	status := ctrl.Status()
+	if status.Phase != PhaseCanarying || status.Candidate != shaB || status.Current != shaA {
+		t.Fatalf("mid-rollout status = %+v", status)
+	}
+	// ceil(0.25 * 4) = 1 canary, and IDs() is sorted, so g1.
+	if len(status.Canaries) != 1 || status.Canaries["g1"] {
+		t.Fatalf("canaries = %v, want g1 un-acked", status.Canaries)
+	}
+
+	// A second rollout while one is in flight is rejected.
+	if _, err := ctrl.StartRollout([]byte("bank-C")); !errors.Is(err, ErrRolloutInFlight) {
+		t.Fatalf("concurrent StartRollout err = %v, want ErrRolloutInFlight", err)
+	}
+
+	// The canary acks the candidate; its judgment window starts at the
+	// counters it had then.
+	ctrl.OnModelAck("g1", shaB, true, "")
+	if !ctrl.Status().Canaries["g1"] {
+		t.Fatal("canary not marked applied after ack")
+	}
+
+	// Below MinSamples: no judgment yet.
+	reg.setCounters("g1", 110, 5)
+	ctrl.OnCounters("g1")
+	if got := ctrl.Status().Phase; got != PhaseCanarying {
+		t.Fatalf("phase after %d samples = %v, want canarying", 10, got)
+	}
+
+	// 30 assessments under the candidate, 1 unknown (3.3%): within
+	// MaxUnknownDelta of the 5% pre-rollout baseline — promote.
+	reg.setCounters("g1", 130, 6)
+	ctrl.OnCounters("g1")
+	status = ctrl.Status()
+	if status.Phase != PhaseIdle || status.Current != shaB {
+		t.Fatalf("post-promotion status = %+v", status)
+	}
+
+	want := []store.EventKind{store.EvRolloutStarted, store.EvRolloutPromoted}
+	if got := journalKinds(t, dir); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("journal kinds = %v, want %v", got, want)
+	}
+}
+
+func TestRolloutRollsBackOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	ctrl, reg, _, _ := testController(t, dir, "g1", "g2", "g3", "g4")
+
+	shaA, _ := ctrl.SetCurrent([]byte("bank-A"))
+	for _, id := range reg.IDs() {
+		reg.setCounters(id, 100, 5)
+	}
+	shaB, _ := ctrl.StartRollout([]byte("bank-B"))
+	ctrl.OnModelAck("g1", shaB, true, "")
+
+	// 25 assessments, 20 unknown: an 80% unknown-rate regression.
+	reg.setCounters("g1", 125, 25)
+	ctrl.OnCounters("g1")
+
+	status := ctrl.Status()
+	if status.Phase != PhaseIdle || status.Current != shaA {
+		t.Fatalf("post-rollback status = %+v (want current %.12s)", status, shaA)
+	}
+	want := []store.EventKind{store.EvRolloutStarted, store.EvRolloutRolledBack}
+	if got := journalKinds(t, dir); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("journal kinds = %v, want %v", got, want)
+	}
+}
+
+func TestRolloutRollsBackOnCanaryApplyFailure(t *testing.T) {
+	ctrl, reg, _, _ := testController(t, t.TempDir(), "g1", "g2")
+
+	shaA, _ := ctrl.SetCurrent([]byte("bank-A"))
+	reg.setCounters("g1", 50, 0)
+	shaB, _ := ctrl.StartRollout([]byte("bank-B"))
+	ctrl.OnModelAck("g1", shaB, false, "deserialize failed")
+
+	status := ctrl.Status()
+	if status.Phase != PhaseIdle || status.Current != shaA {
+		t.Fatalf("status after apply failure = %+v", status)
+	}
+}
+
+func TestRolloutRollsBackWhenAllCanariesExpire(t *testing.T) {
+	ctrl, _, _, _ := testController(t, t.TempDir(), "g1", "g2")
+
+	ctrl.SetCurrent([]byte("bank-A"))
+	shaB, _ := ctrl.StartRollout([]byte("bank-B"))
+	ctrl.OnModelAck("g1", shaB, true, "")
+	ctrl.OnExpire([]string{"g1"})
+
+	if got := ctrl.Status().Phase; got != PhaseIdle {
+		t.Fatalf("phase after losing every canary = %v, want idle (rolled back)", got)
+	}
+}
+
+func TestRolloutOnEmptyFleetPromotesImmediately(t *testing.T) {
+	ctrl, _, _, _ := testController(t, t.TempDir())
+
+	sha, err := ctrl.StartRollout([]byte("bank-A"))
+	if err != nil {
+		t.Fatalf("StartRollout: %v", err)
+	}
+	status := ctrl.Status()
+	if status.Phase != PhaseIdle || status.Current != sha {
+		t.Fatalf("empty-fleet status = %+v", status)
+	}
+}
+
+func TestRolloutRecoverResumesMidRollout(t *testing.T) {
+	dir := t.TempDir()
+	ctrl, _, st, _ := testController(t, dir, "g1", "g2", "g3")
+
+	ctrl.SetCurrent([]byte("bank-A"))
+	shaB, _ := ctrl.StartRollout([]byte("bank-B"))
+	// Crash before the canary ever acks: close the journal with the
+	// rollout started but unresolved.
+	st.Close()
+
+	ctrl2, reg2, _, rec := testController(t, dir, "g1", "g2", "g3")
+	shaA2, _ := ctrl2.SetCurrent([]byte("bank-A"))
+	if err := ctrl2.Recover(rec); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	status := ctrl2.Status()
+	if status.Phase != PhaseCanarying || status.Candidate != shaB || status.Current != shaA2 {
+		t.Fatalf("recovered status = %+v (want canarying %.12s)", status, shaB)
+	}
+	if len(status.Canaries) != 1 {
+		t.Fatalf("recovered canaries = %v, want the original single canary", status.Canaries)
+	}
+
+	// The resumed rollout completes normally: candidate bytes came
+	// back from the versioned model store, the canary acks and holds.
+	ctrl2.OnModelAck("g1", shaB, true, "")
+	reg2.setCounters("g1", 30, 0)
+	ctrl2.OnCounters("g1")
+	status = ctrl2.Status()
+	if status.Phase != PhaseIdle || status.Current != shaB {
+		t.Fatalf("post-recovery promotion status = %+v", status)
+	}
+
+	// The journal across both lives reads: started, promoted.
+	want := []store.EventKind{store.EvRolloutStarted, store.EvRolloutPromoted}
+	if got := journalKinds(t, dir); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("journal kinds = %v, want %v", got, want)
+	}
+}
+
+func TestRolloutRecoverWithResolvedJournalStaysIdle(t *testing.T) {
+	dir := t.TempDir()
+	ctrl, reg, st, _ := testController(t, dir, "g1", "g2", "g3", "g4")
+
+	ctrl.SetCurrent([]byte("bank-A"))
+	shaB, _ := ctrl.StartRollout([]byte("bank-B"))
+	ctrl.OnModelAck("g1", shaB, true, "")
+	reg.setCounters("g1", 30, 0)
+	ctrl.OnCounters("g1") // promotes
+	st.Close()
+
+	ctrl2, _, _, rec := testController(t, dir, "g1")
+	ctrl2.SetCurrent([]byte("bank-B"))
+	if err := ctrl2.Recover(rec); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := ctrl2.Status().Phase; got != PhaseIdle {
+		t.Fatalf("phase after recovering a resolved journal = %v, want idle", got)
+	}
+}

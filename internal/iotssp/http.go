@@ -42,20 +42,40 @@ type vulnJSON struct {
 	FixedInUpdate bool   `json:"fixedInUpdate,omitempty"`
 }
 
+// maxAssessBody bounds an assess request body. A fingerprint matrix is
+// a few KiB; anything near the cap is misuse, and anything over it is
+// rejected with 413 rather than silently truncated into a JSON error.
+const maxAssessBody = 4 << 20
+
 // Handler serves the service API:
 //
 //	POST /v1/assess  — assess one fingerprint
 //	GET  /v1/types   — list known device-types
 func Handler(s *Service) http.Handler {
+	return HandlerWithMetrics(s, nil)
+}
+
+// HandlerWithMetrics is Handler with a server-side obs bundle (nil
+// disables instrumentation, identical to Handler).
+func HandlerWithMetrics(s *Service, m *ServerMetrics) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/assess", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		// Read one byte past the cap: exactly-at-cap bodies pass, and an
+		// over-cap body is reported as what it is (413) instead of being
+		// truncated into a misleading "bad json" 400.
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxAssessBody+1))
 		if err != nil {
 			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxAssessBody {
+			m.incOversized()
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxAssessBody),
+				http.StatusRequestEntityTooLarge)
 			return
 		}
 		var req assessRequest
@@ -73,7 +93,7 @@ func Handler(s *Service) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, toWire(a))
+		writeJSON(w, toWire(a), m)
 	})
 	mux.HandleFunc("/v1/types", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -85,14 +105,19 @@ func Handler(s *Service) http.Handler {
 		for i, t := range types {
 			names[i] = string(t)
 		}
-		writeJSON(w, map[string][]string{"types": names})
+		writeJSON(w, map[string][]string{"types": names}, m)
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes the response, counting (rather than swallowing)
+// encode failures: once the header is out there is nothing useful to
+// send the client, but a broken response path must show in /metrics.
+func writeJSON(w http.ResponseWriter, v any, m *ServerMetrics) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		m.incEncodeError()
+	}
 }
 
 func toWire(a Assessment) assessResponse {
@@ -114,6 +139,12 @@ func toWire(a Assessment) assessResponse {
 }
 
 func fingerprintFromRows(rows [][]float64) (fingerprint.Fingerprint, error) {
+	if len(rows) == 0 {
+		// A zero-row matrix is not a fingerprint: letting it through
+		// would feed an empty F/F′ into the classifier bank and come
+		// back as a meaningless "unknown" instead of a client error.
+		return fingerprint.Fingerprint{}, errors.New("empty fingerprint: at least one feature row required")
+	}
 	vs := make([]features.Vector, len(rows))
 	for i, row := range rows {
 		if len(row) != features.Count {
@@ -165,6 +196,15 @@ func (e *statusError) Error() string {
 
 // retryable reports whether a failed attempt may succeed on retry:
 // transport errors and 5xx yes, 4xx and malformed payloads no.
+//
+// Retryability and breaker accounting are deliberately different axes:
+// a garbled 200 (decodeError) is not retried — resending the same
+// request through the same broken proxy yields the same junk — but it
+// still counts against the circuit breaker (see breakerOutcome): a
+// service whose successes cannot be decoded is as unusable as one that
+// is down, and must eventually trip the breaker. Only a well-formed
+// 4xx counts as service-alive, because it proves the service parsed
+// and answered the request.
 func retryable(err error) bool {
 	var se *statusError
 	if errors.As(err, &se) {
@@ -172,6 +212,22 @@ func retryable(err error) bool {
 	}
 	var de *decodeError
 	return !errors.As(err, &de)
+}
+
+// breakerOutcome maps an attempt result to what the circuit breaker
+// should record: nil (service-alive) for a success or a well-formed
+// 4xx, the error itself for transport failures, 5xx, and garbled
+// successes — the cases where continuing to call the service cannot
+// produce usable assessments.
+func breakerOutcome(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *statusError
+	if errors.As(err, &se) && se.code < 500 {
+		return nil
+	}
+	return err
 }
 
 // decodeError marks a malformed success response (not retryable).
@@ -215,13 +271,7 @@ func (c *Client) AssessContext(ctx context.Context, fp fingerprint.Fingerprint) 
 		a, err := c.post(ctx, payload)
 		c.Metrics.incAttempt(err == nil)
 		if c.Breaker != nil {
-			// 4xx and decode failures mean the service answered: they
-			// count as service-alive for breaker purposes.
-			if err != nil && retryable(err) {
-				c.Breaker.Record(err)
-			} else {
-				c.Breaker.Record(nil)
-			}
+			c.Breaker.Record(breakerOutcome(err))
 		}
 		if err == nil {
 			return a, nil

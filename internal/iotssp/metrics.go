@@ -4,6 +4,40 @@ import (
 	"iotsentinel/internal/obs"
 )
 
+// ServerMetrics instruments the service's HTTP handler. Attach via
+// HandlerWithMetrics; a nil bundle disables instrumentation.
+//
+// Exported series:
+//
+//	iotssp_server_encode_errors_total       counter
+//	iotssp_server_oversized_requests_total  counter
+type ServerMetrics struct {
+	encodeErrors *obs.Counter
+	oversized    *obs.Counter
+}
+
+// NewServerMetrics registers the server metric family on reg.
+func NewServerMetrics(reg *obs.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		encodeErrors: reg.Counter("iotssp_server_encode_errors_total",
+			"Assessment responses whose JSON encode failed mid-write."),
+		oversized: reg.Counter("iotssp_server_oversized_requests_total",
+			"Assessment requests rejected with 413 for exceeding the body cap."),
+	}
+}
+
+func (m *ServerMetrics) incEncodeError() {
+	if m != nil {
+		m.encodeErrors.Inc()
+	}
+}
+
+func (m *ServerMetrics) incOversized() {
+	if m != nil {
+		m.oversized.Inc()
+	}
+}
+
 // ClientMetrics instruments the gateway↔service path: HTTP attempt
 // outcomes, backoff sleeps, fast-fails while the breaker is open, and
 // every breaker state transition. Attach via Client.Metrics and

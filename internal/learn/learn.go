@@ -76,6 +76,12 @@ type Config struct {
 	// persist failure is reported via Logf but does not undo the
 	// promotion: the journal replays it after a crash.
 	Persist func(*core.Identifier) error
+	// OnPromoted, if set, runs after a successful promotion with the
+	// new serving bank (after Persist). The fleet control plane hooks
+	// here: a locally promoted bank becomes a canary rollout candidate
+	// for the rest of the fleet. It is called from the learner's
+	// background goroutine and must not block on training or serving.
+	OnPromoted func(t core.TypeID, bank *core.Identifier)
 	// Store, if set, journals observations, proposals and promotions.
 	Store *store.Store
 	// Metrics, if set, receives cluster/promotion instrumentation.
@@ -432,6 +438,9 @@ func (l *Learner) finishPromotion(c *cluster, name core.TypeID, members int, ban
 			// persist re-trains it from the replayed cluster.
 			l.logf("learn: persist after promoting %q failed: %v", name, err)
 		}
+	}
+	if bank != nil && l.cfg.OnPromoted != nil {
+		l.cfg.OnPromoted(name, bank)
 	}
 }
 

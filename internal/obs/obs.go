@@ -180,6 +180,12 @@ var DefLatencyBuckets = []float64{
 // matches-per-identification.
 var CountBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
 
+// SizeBuckets suits byte-size distributions (wire frames, model
+// blobs): 64 B–64 MiB in powers of eight.
+var SizeBuckets = []float64{
+	64, 512, 4096, 32768, 262144, 2097152, 16777216, 67108864,
+}
+
 // family is one named metric with a fixed label schema; unlabeled
 // metrics are families with a single child under the empty key.
 type family struct {

@@ -46,6 +46,24 @@ const (
 	// EvTypePromoted: the proposed type trained, validated and
 	// hot-swapped into the serving bank.
 	EvTypePromoted EventKind = "type_promoted"
+
+	// Fleet-rollout kinds: the canary state machine of internal/fleet
+	// journals its transitions so a crashed controller resumes
+	// mid-rollout instead of forgetting which gateways run which bank.
+	// All three are durable (fsynced): losing a started record would
+	// leave canaries serving a bank the controller no longer watches.
+
+	// EvRolloutStarted: a candidate model bank began canarying. Model
+	// is the candidate's SHA-256, BaselineModel the bank to roll back
+	// to, Canaries the gateway IDs selected for the canary set.
+	EvRolloutStarted EventKind = "rollout_started"
+	// EvRolloutPromoted: the canary held its unknown-rate and the
+	// candidate (Model) was pushed fleet-wide.
+	EvRolloutPromoted EventKind = "rollout_promoted"
+	// EvRolloutRolledBack: the canary regressed; the baseline
+	// (BaselineModel) was re-pushed to the canary set and the
+	// candidate (Model) abandoned.
+	EvRolloutRolledBack EventKind = "rollout_rolled_back"
 )
 
 // Event is one journal record. Fields beyond Seq/Kind/MAC/At are
@@ -81,15 +99,29 @@ type Event struct {
 	// its size when the event fired.
 	Cluster string `json:"cluster,omitempty"`
 	Members int    `json:"members,omitempty"`
+
+	// Fleet-rollout fields (EvRolloutStarted, EvRolloutPromoted,
+	// EvRolloutRolledBack). Model and BaselineModel are SHA-256 hex of
+	// the versioned model blobs; Canaries the selected gateway IDs.
+	Model         string   `json:"model,omitempty"`
+	BaselineModel string   `json:"baselineModel,omitempty"`
+	Canaries      []string `json:"canaries,omitempty"`
 }
 
 // durable reports whether the event must be fsynced before Append
 // returns. Security demotions are: losing one to a crash would let a
 // device the gateway decided to isolate come back unrestricted.
 // Promotions batch — losing one recovers the device at something
-// stricter, which is safe.
+// stricter, which is safe. Rollout transitions are durable too: a
+// forgotten rollout_started would leave canary gateways serving an
+// unwatched candidate bank after a controller crash.
 func (e *Event) durable() bool {
-	return e.Kind == EvQuarantined || e.Kind == EvRemoved
+	switch e.Kind {
+	case EvQuarantined, EvRemoved,
+		EvRolloutStarted, EvRolloutPromoted, EvRolloutRolledBack:
+		return true
+	}
+	return false
 }
 
 // FRows flattens a fingerprint's F matrix for journaling.

@@ -207,6 +207,78 @@ func (ms *ModelStore) Manifest() (ModelManifest, error) {
 	return man, nil
 }
 
+// Versioned model blobs: the fleet controller keeps every bank it may
+// still distribute — the current fleet version, a canarying candidate,
+// and the rollback baseline — as content-addressed files, so a crashed
+// controller can reload exactly the bytes a journaled rollout names.
+//
+// Layout: models/versions/<sha256-hex>.model, written temp → fsync →
+// rename like everything else in the store. The filename is the
+// content hash, so a partially renamed or tampered file is caught on
+// load by rehashing.
+
+const versionsDir = "versions"
+
+// SaveVersion persists one opaque model blob under its SHA-256 and
+// returns the hex digest. Saving bytes that are already present is a
+// cheap no-op (content addressing makes the write idempotent).
+func (ms *ModelStore) SaveVersion(model []byte) (string, error) {
+	sum := sha256.Sum256(model)
+	sha := hex.EncodeToString(sum[:])
+	dir := filepath.Join(ms.dir, versionsDir)
+	final := filepath.Join(dir, sha+".model")
+	if _, err := os.Stat(final); err == nil {
+		return sha, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("store: save version: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".version-*")
+	if err != nil {
+		return "", fmt.Errorf("store: save version: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(model); err != nil {
+		return "", fmt.Errorf("store: save version: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return "", fmt.Errorf("store: save version: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("store: save version: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, final); err != nil {
+		return "", fmt.Errorf("store: save version: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	ms.m.modelSaved()
+	return sha, nil
+}
+
+// LoadVersion reads a versioned model blob back and verifies it still
+// hashes to its name; a corrupt blob returns an error, never bytes.
+func (ms *ModelStore) LoadVersion(sha string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(ms.dir, versionsDir, sha+".model"))
+	if err != nil {
+		return nil, fmt.Errorf("store: load version: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != sha {
+		return nil, fmt.Errorf("store: load version: checksum mismatch (want %s, file %s)",
+			shortHash(sha), shortHash(got))
+	}
+	return data, nil
+}
+
 func shortHash(h string) string {
 	if len(h) > 12 {
 		return h[:12]
