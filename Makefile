@@ -3,8 +3,9 @@
 # pass when the tooling is installed + shuffled full test suite + a
 # short -race pass over the gateway, online learner, durable store,
 # metrics registry and fleet control plane + the crash fault-injection
-# sweep + a short fuzz pass over the capture readers, the model
-# deserializer, the cluster-linkage input and the fleet wire decoders);
+# sweep + a short fuzz pass over the capture ring and readers, the
+# model deserializer, the cluster-linkage input and the fleet wire
+# decoders + a short sustained-load soak with its leak/latency gates);
 # `make test-race` covers the concurrent
 # classifier bank, gateway, online learner, fleet control plane and
 # enforcement plane in full;
@@ -14,7 +15,12 @@
 # train/identify sweeps; `make bench-json` archives the hot-path
 # benchmarks as BENCH_<date>.json for cross-commit diffing;
 # `make bench-check` diffs the two newest archives and fails on a >10%
-# ns/op regression (or a zero-alloc path that started allocating).
+# ns/op regression (or a zero-alloc path that started allocating);
+# `make soak` sustains SOAK_DEVICES modeled devices with churn through
+# the capture front end for SOAK_DURATION, gating on p99 latency, RSS,
+# goroutine growth and state-dir fd leaks, archiving SOAK_<date>.json;
+# `make soak-check` diffs the two newest soak archives and fails on a
+# >10% sustained-throughput drop.
 
 GO ?= go
 BENCH_PKGS ?= ./internal/...
@@ -28,8 +34,12 @@ BENCH_ROOT ?= ^Benchmark(ClassifySingle|EditDistanceSingle|TypeIdentification|Fi
 # hosts so `make bench-check` compares capability, not luck.
 BENCH_COUNT ?= 3
 FUZZTIME ?= 10s
+# Soak defaults: short enough for the verify gate, big enough to model
+# a real fleet's device population on one gateway.
+SOAK_DURATION ?= 30s
+SOAK_DEVICES ?= 10000
 
-.PHONY: all build vet fmt-check vulncheck verify test test-race fuzz crash bench bench-parallel bench-json bench-check clean
+.PHONY: all build vet fmt-check vulncheck verify test test-race fuzz crash soak soak-check bench bench-parallel bench-json bench-check clean
 
 all: verify
 
@@ -54,6 +64,7 @@ verify: vet fmt-check build vulncheck
 	$(GO) test -race -count=1 ./internal/fleet/... ./internal/gateway/... ./internal/learn/... ./internal/obs/... ./internal/store/...
 	$(MAKE) crash
 	$(MAKE) fuzz
+	$(MAKE) soak
 
 build:
 	$(GO) build ./...
@@ -68,6 +79,7 @@ test-race:
 	$(GO) test -race ./internal/core/... ./internal/fleet/... ./internal/gateway/... ./internal/iotssp/... ./internal/learn/... ./internal/sdn/...
 
 fuzz:
+	$(GO) test -fuzz='^FuzzRingDelivery$$' -fuzztime=$(FUZZTIME) ./internal/capture/
 	$(GO) test -fuzz='^FuzzReadPcap$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
 	$(GO) test -fuzz='^FuzzReadPcapNG$$' -fuzztime=$(FUZZTIME) ./internal/pcap/
 	$(GO) test -fuzz='^FuzzLoad$$' -fuzztime=$(FUZZTIME) ./internal/ml/rf/
@@ -105,6 +117,17 @@ BENCH_GATE ?= ^(core\.(IdentifySteadyState|IdentifyBatchSteadyState|IdentifyCach
 
 bench-check:
 	$(GO) run ./cmd/benchreport -delta . -delta-gate '$(BENCH_GATE)'
+
+# The sustained-load soak: N modeled devices with steady churn (joins,
+# firmware re-fingerprints, quarantine flaps, unknown clusters feeding
+# the learner) through the capture fanout, continuously gated on p99
+# HandlePacket, RSS, goroutine growth and journal/snapshot fd leaks. A
+# gate failure dumps pprof goroutine/heap profiles and fails the build.
+soak:
+	$(GO) run ./cmd/loadgen -soak -soak-duration $(SOAK_DURATION) -soak-devices $(SOAK_DEVICES)
+
+soak-check:
+	$(GO) run ./cmd/benchreport -soak-delta .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,103 @@
+package main
+
+// Soak delta mode: compare two archived SOAK_<date>.json documents
+// (produced by `make soak`) and fail on sustained-throughput
+// regressions. `make soak-check` runs this against the two newest
+// archives, the soak-harness analogue of bench-check.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// soakDoc mirrors the subset of loadgen's SOAK_<date>.json schema the
+// delta needs.
+type soakDoc struct {
+	Date             string   `json:"date"`
+	DurationSeconds  float64  `json:"duration_seconds"`
+	DevicesModeled   int      `json:"devices_modeled"`
+	Packets          uint64   `json:"packets"`
+	SustainedPPS     float64  `json:"sustained_pps"`
+	P99HandleSeconds float64  `json:"p99_handle_seconds"`
+	MaxRSSBytes      int64    `json:"max_rss_bytes"`
+	Pass             bool     `json:"pass"`
+	Failures         []string `json:"failures"`
+}
+
+// resolveSoakFiles turns the -soak-delta argument into (old, new)
+// paths: "old.json,new.json" names the pair, anything else is a
+// directory whose two newest SOAK_*.json are compared.
+func resolveSoakFiles(arg string) (string, string, error) {
+	if i := strings.IndexByte(arg, ','); i >= 0 {
+		return arg[:i], arg[i+1:], nil
+	}
+	matches, err := filepath.Glob(filepath.Join(arg, "SOAK_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	if len(matches) < 2 {
+		return "", "", fmt.Errorf("need at least two SOAK_*.json under %s, found %d", arg, len(matches))
+	}
+	sort.Strings(matches) // SOAK_YYYYMMDD.json sorts chronologically
+	return matches[len(matches)-2], matches[len(matches)-1], nil
+}
+
+func loadSoakDoc(path string) (*soakDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc soakDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// runSoakDelta compares sustained throughput between the two archives
+// and fails on a drop beyond threshold percent, or if the new run's
+// own gates failed. Device count and duration are printed so a delta
+// between differently shaped runs is visible for what it is.
+func runSoakDelta(out io.Writer, arg string, threshold float64) error {
+	oldPath, newPath, err := resolveSoakFiles(arg)
+	if err != nil {
+		return err
+	}
+	oldDoc, err := loadSoakDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadSoakDoc(newPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "Soak delta: %s (%s) -> %s (%s), regression threshold %.0f%%\n",
+		filepath.Base(oldPath), oldDoc.Date, filepath.Base(newPath), newDoc.Date, threshold)
+	fmt.Fprintf(out, "%-22s %14s %14s\n", "", "old", "new")
+	fmt.Fprintf(out, "%-22s %14d %14d\n", "devices", oldDoc.DevicesModeled, newDoc.DevicesModeled)
+	fmt.Fprintf(out, "%-22s %13.1fs %13.1fs\n", "duration", oldDoc.DurationSeconds, newDoc.DurationSeconds)
+	fmt.Fprintf(out, "%-22s %14.0f %14.0f\n", "sustained pkt/s", oldDoc.SustainedPPS, newDoc.SustainedPPS)
+	fmt.Fprintf(out, "%-22s %13.1fµ %13.1fµ\n", "p99 HandlePacket", oldDoc.P99HandleSeconds*1e6, newDoc.P99HandleSeconds*1e6)
+	fmt.Fprintf(out, "%-22s %13dM %13dM\n", "max RSS", oldDoc.MaxRSSBytes>>20, newDoc.MaxRSSBytes>>20)
+
+	if !newDoc.Pass {
+		return fmt.Errorf("newest soak run failed its own gates: %s", strings.Join(newDoc.Failures, "; "))
+	}
+	if oldDoc.SustainedPPS <= 0 {
+		return fmt.Errorf("old archive %s has no sustained throughput to compare against", oldPath)
+	}
+	pct := (oldDoc.SustainedPPS - newDoc.SustainedPPS) / oldDoc.SustainedPPS * 100
+	fmt.Fprintf(out, "%-22s %29s\n", "throughput delta", fmt.Sprintf("%+.1f%%", -pct))
+	if pct > threshold {
+		return fmt.Errorf("sustained throughput regressed %.1f%% (%.0f -> %.0f pkt/s), threshold %.0f%%",
+			pct, oldDoc.SustainedPPS, newDoc.SustainedPPS, threshold)
+	}
+	fmt.Fprintln(out, "OK: sustained throughput within threshold")
+	return nil
+}

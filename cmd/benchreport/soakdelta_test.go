@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func soakBody(date string, pps float64, pass bool, failure string) string {
+	failures := ""
+	if failure != "" {
+		failures = fmt.Sprintf(`, "failures": [%q]`, failure)
+	}
+	return fmt.Sprintf(`{
+  "date": %q,
+  "duration_seconds": 30.1,
+  "devices_modeled": 10000,
+  "packets": 1000000,
+  "sustained_pps": %.1f,
+  "p99_handle_seconds": 0.000031,
+  "max_rss_bytes": 265289728,
+  "pass": %v%s
+}`, date, pps, pass, failures)
+}
+
+func TestSoakDeltaPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "SOAK_20260801.json", soakBody("2026-08-01", 40000, true, ""))
+	writeBench(t, dir, "SOAK_20260802.json", soakBody("2026-08-02", 38000, true, ""))
+	var out bytes.Buffer
+	if err := run([]string{"-soak-delta", dir}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"SOAK_20260801.json", "SOAK_20260802.json", "-5.0%", "OK:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("soak delta output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSoakDeltaFailsOnThroughputRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "SOAK_20260801.json", soakBody("2026-08-01", 40000, true, ""))
+	writeBench(t, dir, "SOAK_20260802.json", soakBody("2026-08-02", 30000, true, ""))
+	var out bytes.Buffer
+	err := run([]string{"-soak-delta", dir}, &out)
+	if err == nil {
+		t.Fatalf("25%% throughput drop passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error does not name the regression: %v", err)
+	}
+}
+
+func TestSoakDeltaFailsWhenNewRunFailedGates(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "SOAK_20260801.json", soakBody("2026-08-01", 40000, true, ""))
+	writeBench(t, dir, "SOAK_20260802.json", soakBody("2026-08-02", 41000, false, "goroutines did not return to baseline: 1 -> 7"))
+	var out bytes.Buffer
+	err := run([]string{"-soak-delta", dir}, &out)
+	if err == nil {
+		t.Fatalf("failed soak run passed the delta:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "goroutines did not return") {
+		t.Errorf("error does not carry the soak failure: %v", err)
+	}
+}
+
+func TestSoakDeltaExplicitPairAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "SOAK_a.json", soakBody("2026-08-01", 40000, true, ""))
+	next := writeBench(t, dir, "SOAK_b.json", soakBody("2026-08-02", 30000, true, ""))
+	var out bytes.Buffer
+	// A 25% drop passes when the caller raises the threshold to 30%.
+	if err := run([]string{"-soak-delta", old + "," + next, "-soak-threshold", "30"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
+func TestSoakDeltaNeedsTwoArchives(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "SOAK_20260801.json", soakBody("2026-08-01", 40000, true, ""))
+	var out bytes.Buffer
+	if err := run([]string{"-soak-delta", dir}, &out); err == nil {
+		t.Fatal("single archive did not error")
+	}
+}

@@ -41,12 +41,12 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"iotsentinel/internal/capture"
 	"iotsentinel/internal/core"
 	"iotsentinel/internal/devices"
 	"iotsentinel/internal/fingerprint"
@@ -56,7 +56,6 @@ import (
 	"iotsentinel/internal/learn"
 	"iotsentinel/internal/obs"
 	"iotsentinel/internal/packet"
-	"iotsentinel/internal/pcap"
 	"iotsentinel/internal/sdn"
 	"iotsentinel/internal/store"
 	"iotsentinel/internal/vulndb"
@@ -75,6 +74,7 @@ func run(args []string, out io.Writer) error {
 		apiAddr       = fs.String("api", "127.0.0.1:8080", "management API listen address")
 		sspURL        = fs.String("ssp", "", "remote IoT Security Service base URL (default: in-process)")
 		replayDir     = fs.String("replay", "", "directory of pcap captures to replay on startup")
+		capReaders    = fs.Int("capture-readers", 0, "capture reader goroutines feeding the data path (0 = GOMAXPROCS)")
 		captures      = fs.Int("captures", 20, "training captures per type for the in-process service")
 		seed          = fs.Int64("seed", 1, "random seed")
 		workers       = fs.Int("workers", 0, "classifier-bank worker goroutines (0 = GOMAXPROCS)")
@@ -255,7 +255,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *replayDir != "" {
-		if err := replay(out, gw, *replayDir); err != nil {
+		var capMetrics *capture.Metrics
+		if reg != nil {
+			capMetrics = capture.NewMetrics(reg)
+		}
+		if err := replay(out, gw, *replayDir, *capReaders, capMetrics); err != nil {
 			return err
 		}
 		if learner != nil {
@@ -527,45 +531,42 @@ func metricsMux(reg *obs.Registry) *http.ServeMux {
 	return mux
 }
 
-// replay feeds every pcap in dir through the gateway's data path in
-// timestamp order, then force-finishes any still-monitoring devices.
-func replay(out io.Writer, gw *gateway.Gateway, dir string) error {
-	entries, err := os.ReadDir(dir)
+// replay streams every pcap in dir through the capture front end —
+// demux, MAC-hash fanout, per-CPU readers — into the gateway's data
+// path, then force-finishes any still-monitoring devices. This is the
+// same ingest pipeline a live interface feeds, just sourced from disk.
+func replay(out io.Writer, gw *gateway.Gateway, dir string, readers int, cm *capture.Metrics) error {
+	src, err := capture.NewDirSource(dir)
 	if err != nil {
 		return fmt.Errorf("replay: %w", err)
 	}
-	var names []string
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".pcap") || strings.HasSuffix(e.Name(), ".pcapng") {
-			names = append(names, e.Name())
+	var (
+		mu     sync.Mutex
+		frames int
+		last   time.Time
+		hpErr  error
+	)
+	pump := capture.Start(src, func(ts time.Time, pk *packet.Packet) {
+		if _, err := gw.HandlePacket(ts, pk); err != nil {
+			mu.Lock()
+			if hpErr == nil {
+				hpErr = err
+			}
+			mu.Unlock()
+			return
 		}
+		mu.Lock()
+		frames++
+		if ts.After(last) {
+			last = ts
+		}
+		mu.Unlock()
+	}, capture.PumpConfig{Readers: readers, Metrics: cm})
+	if err := pump.Wait(); err != nil {
+		return fmt.Errorf("replay: %w", err)
 	}
-	sort.Strings(names)
-	var last time.Time
-	frames := 0
-	for _, name := range names {
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			return fmt.Errorf("replay %s: %w", name, err)
-		}
-		recs, err := pcap.ReadAllAuto(f)
-		_ = f.Close()
-		if err != nil {
-			return fmt.Errorf("replay %s: %w", name, err)
-		}
-		for _, rec := range recs {
-			pk, err := packet.Decode(rec.Data)
-			if err != nil {
-				continue // foreign or unsupported frame
-			}
-			if _, err := gw.HandlePacket(rec.Time, pk); err != nil {
-				return fmt.Errorf("replay %s: %w", name, err)
-			}
-			frames++
-			if rec.Time.After(last) {
-				last = rec.Time
-			}
-		}
+	if hpErr != nil {
+		return fmt.Errorf("replay: %w", hpErr)
 	}
 	// Any devices still monitoring saw their whole capture: drain the
 	// monitoring queue as one batch so the pending fingerprints
@@ -575,7 +576,7 @@ func replay(out io.Writer, gw *gateway.Gateway, dir string) error {
 	}
 	quarantined := gw.QuarantineLen()
 	fmt.Fprintf(out, "replayed %d frames from %d captures; %d devices assessed, %d quarantined\n",
-		frames, len(names), len(gw.Devices())-quarantined, quarantined)
+		frames, src.Files(), len(gw.Devices())-quarantined, quarantined)
 	return nil
 }
 

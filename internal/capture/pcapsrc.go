@@ -1,0 +1,119 @@
+package capture
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"iotsentinel/internal/pcap"
+)
+
+// PcapSource streams records out of capture files through the same
+// Source seam live traffic uses, so a recorded trace replays through
+// exactly the ingest path — demux, per-CPU readers, decode — that a
+// real interface would feed. Files are read lazily, one record at a
+// time (pcap.NewAutoReader), so replaying a multi-gigabyte trace
+// holds one frame in memory, not the file.
+type PcapSource struct {
+	paths []string
+	f     *os.File
+	rd    pcap.RecordReader
+	idx   int
+	eof   bool
+}
+
+// NewFileSource opens a single pcap/pcapng file.
+func NewFileSource(path string) (*PcapSource, error) {
+	return newPcapSource([]string{path})
+}
+
+// NewDirSource opens every *.pcap / *.pcapng under dir, replayed in
+// name order (the order gatewayd's replay always used).
+func NewDirSource(dir string) (*PcapSource, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pcap") || strings.HasSuffix(e.Name(), ".pcapng") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("capture: no pcap files under %s", dir)
+	}
+	return newPcapSource(paths)
+}
+
+func newPcapSource(paths []string) (*PcapSource, error) {
+	s := &PcapSource{paths: paths}
+	if err := s.openNext(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *PcapSource) openNext() error {
+	if s.f != nil {
+		_ = s.f.Close()
+		s.f = nil
+		s.rd = nil
+	}
+	if s.idx >= len(s.paths) {
+		s.eof = true
+		return nil
+	}
+	path := s.paths[s.idx]
+	s.idx++
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("capture: %w", err)
+	}
+	rd, err := pcap.NewAutoReader(f)
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("capture: %s: %w", path, err)
+	}
+	s.f = f
+	s.rd = rd
+	return nil
+}
+
+// Files returns how many capture files the source replays.
+func (s *PcapSource) Files() int { return len(s.paths) }
+
+// Recv returns the next record across the file set, or io.EOF after
+// the last file's last record.
+func (s *PcapSource) Recv() (Frame, error) {
+	for {
+		if s.eof {
+			return Frame{}, io.EOF
+		}
+		rec, err := s.rd.ReadRecord()
+		if err == nil {
+			return Frame{Time: rec.Time, Data: rec.Data}, nil
+		}
+		if err != io.EOF {
+			return Frame{}, fmt.Errorf("capture: %s: %w", s.paths[s.idx-1], err)
+		}
+		if err := s.openNext(); err != nil {
+			return Frame{}, err
+		}
+	}
+}
+
+// Close releases the open file, if any.
+func (s *PcapSource) Close() error {
+	s.eof = true
+	if s.f != nil {
+		err := s.f.Close()
+		s.f = nil
+		return err
+	}
+	return nil
+}

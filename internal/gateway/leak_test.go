@@ -1,0 +1,49 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/store"
+	"iotsentinel/internal/testutil"
+)
+
+// TestGatewayShutdownLeaksNothing pins the managed-goroutine contract
+// of the full daemon assembly: a gateway with async assessment drains,
+// an expiry sweeper, a quarantine retry worker, and a journaling store
+// must leave zero goroutines behind after Shutdown/Close.
+func TestGatewayShutdownLeaksNothing(t *testing.T) {
+	defer testutil.AssertNoGoroutineLeaks(t)()
+
+	st, _, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(t, Config{
+		IdleGap:     5 * time.Second,
+		Shards:      8,
+		AssessQueue: 64,
+		Store:       st,
+	})
+	expiry := NewExpiryWorker(gw, 10*time.Millisecond)
+	retry := NewRetryWorker(gw, 10*time.Millisecond)
+
+	// Push real traffic through so drain goroutines, assessments, and
+	// journal appends are all live when teardown starts.
+	for _, c := range devices.GenerateCaptures(devices.Catalog()[0], 3, 5) {
+		for i, pk := range c.Packets {
+			if _, err := gw.HandlePacket(c.Times[i], pk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gw.WaitAssessIdle()
+
+	expiry.Shutdown()
+	retry.Shutdown()
+	gw.Close()
+	if err := st.Close(); err != nil {
+		t.Errorf("store close: %v", err)
+	}
+}

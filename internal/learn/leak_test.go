@@ -1,0 +1,33 @@
+package learn
+
+import (
+	"testing"
+
+	"iotsentinel/internal/core"
+	"iotsentinel/internal/devices"
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/testutil"
+)
+
+// TestLearnerCloseLeaksNothing pins the learner's managed-goroutine
+// contract: Close stops the clustering goroutine even with unprocessed
+// observations queued, leaving no goroutine behind.
+func TestLearnerCloseLeaksNothing(t *testing.T) {
+	defer testutil.AssertNoGoroutineLeaks(t)()
+
+	l, err := New(Config{
+		K:       3,
+		Promote: func(core.TypeID, []fingerprint.Fingerprint) (*core.Identifier, error) { return nil, nil },
+		Known:   func(core.TypeID) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fps := range devices.GenerateDataset(2, 9) {
+		for _, fp := range fps {
+			l.Observe(fp)
+		}
+	}
+	l.Wait()
+	l.Close()
+}

@@ -1,0 +1,44 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"iotsentinel/internal/capture"
+	"iotsentinel/internal/packet"
+)
+
+// Tap is the lab's mirror port: frames delivered to it are serialized
+// to their wire form — exactly the bytes a real span port would carry
+// — and exposed as a capture.Source, so a gateway under test ingests
+// simulated traffic through the same decode path it would use on a
+// physical interface. The tap preserves the caller's timestamps (a
+// mirror port does not re-clock frames), which is what lets the
+// conformance suite prove pcap, lab, and ring delivery bit-identical.
+type Tap struct {
+	n   *Network
+	src *capture.ChanSource
+}
+
+// NewTap attaches a mirror port with the given frame buffer depth to
+// the network.
+func (n *Network) NewTap(depth int) *Tap {
+	return &Tap{n: n, src: capture.NewChanSource(depth)}
+}
+
+// Deliver mirrors one packet: marshal to wire bytes, stamp ts, queue.
+// It blocks while the buffer is full (a lab replay must not shed
+// frames) and returns capture.ErrClosed after Close.
+func (t *Tap) Deliver(ts time.Time, pk *packet.Packet) error {
+	frame, err := pk.Marshal()
+	if err != nil {
+		return fmt.Errorf("netsim: tap marshal: %w", err)
+	}
+	return t.src.Send(ts, frame)
+}
+
+// Source is the consumer end of the mirror port.
+func (t *Tap) Source() capture.Source { return t.src }
+
+// Close ends the stream; buffered frames still deliver.
+func (t *Tap) Close() error { return t.src.Close() }

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotsentinel/internal/packet"
+	"iotsentinel/internal/sdn"
+)
+
+// TestTapMirrorsWireBytes pins the mirror-port contract: frames come
+// out as the exact wire serialization with the caller's timestamps,
+// decode back to equal packets, and the stream drains to EOF on Close.
+func TestTapMirrorsWireBytes(t *testing.T) {
+	cache := sdn.NewRuleCache()
+	ctrl := sdn.NewController(cache, netip.Prefix{})
+	sw := sdn.NewSwitch(ctrl, time.Minute)
+	n := New(sw, DefaultModel(), 3)
+	tap := n.NewTap(4)
+
+	mac := packet.MAC{0x02, 0, 0, 0, 0, 7}
+	pk := packet.NewARP(mac, netip.MustParseAddr("10.0.0.9"), netip.MustParseAddr("10.0.0.1"))
+	ts := time.Unix(1460100042, 123000).UTC() // µs-aligned, like a real capture clock
+	if err := tap.Deliver(ts, pk); err != nil {
+		t.Fatal(err)
+	}
+	if err := tap.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := tap.Source().Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Time.Equal(ts) {
+		t.Errorf("timestamp re-clocked: %v != %v", f.Time, ts)
+	}
+	want, err := pk.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Data) != string(want) {
+		t.Error("mirrored frame differs from the packet's wire form")
+	}
+	back, err := packet.Decode(f.Data)
+	if err != nil {
+		t.Fatalf("mirrored frame does not decode: %v", err)
+	}
+	if back.SrcMAC != mac {
+		t.Errorf("decoded SrcMAC %v, want %v", back.SrcMAC, mac)
+	}
+	if _, err := tap.Source().Recv(); err != io.EOF {
+		t.Fatalf("after close+drain want io.EOF, got %v", err)
+	}
+	if err := tap.Deliver(ts, pk); err == nil {
+		t.Error("Deliver after Close did not fail")
+	}
+}

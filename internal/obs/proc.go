@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Process-level resource sampling for the soak harness and loadgen's
+// machine-readable summaries: resident set size, live goroutines, and
+// open file descriptors, read from /proc on Linux. On platforms
+// without /proc the byte/descriptor readings degrade to -1 ("not
+// measured"), never to a fake zero — the same convention the
+// histogram quantiles use for empty data.
+
+// ProcStats is one sample of the process's resource footprint.
+type ProcStats struct {
+	// RSSBytes is the resident set size (-1 when unavailable).
+	RSSBytes int64
+	// Goroutines is runtime.NumGoroutine at sampling time.
+	Goroutines int
+	// FDs is the open-file-descriptor count (-1 when unavailable).
+	FDs int
+}
+
+// ReadProcStats samples the current process.
+func ReadProcStats() ProcStats {
+	return ProcStats{
+		RSSBytes:   readRSS(),
+		Goroutines: runtime.NumGoroutine(),
+		FDs:        countFDs(),
+	}
+}
+
+// readRSS parses VmRSS out of /proc/self/status.
+func readRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return -1
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line[len("VmRSS:"):])
+		if len(fields) < 1 {
+			return -1
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return -1
+		}
+		return kb << 10
+	}
+	return -1
+}
+
+// countFDs counts entries in /proc/self/fd (minus the descriptor the
+// listing itself holds open).
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents) - 1
+}
+
+// CountFDsUnder counts open file descriptors resolving to paths under
+// dir — the soak harness's journal/snapshot leak gate: a gateway that
+// checkpoints every few seconds but never closes superseded snapshot
+// handles passes a coarse total-FD check and fails this one. Returns
+// -1 when /proc is unavailable.
+func CountFDsUnder(dir string) int {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return -1
+	}
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	n := 0
+	for _, e := range ents {
+		target, err := os.Readlink(filepath.Join("/proc/self/fd", e.Name()))
+		if err != nil {
+			continue
+		}
+		if target == abs || strings.HasPrefix(target, abs+string(os.PathSeparator)) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestReadProcStats(t *testing.T) {
+	ps := ReadProcStats()
+	if ps.Goroutines <= 0 {
+		t.Errorf("Goroutines = %d, want > 0", ps.Goroutines)
+	}
+	if runtime.GOOS == "linux" {
+		if ps.RSSBytes <= 0 {
+			t.Errorf("RSSBytes = %d on linux, want a real measurement", ps.RSSBytes)
+		}
+		if ps.FDs <= 0 {
+			t.Errorf("FDs = %d on linux, want > 0", ps.FDs)
+		}
+	} else {
+		// The degraded readings must be -1 ("not measured"), never a
+		// fake zero a gate could silently pass on.
+		if ps.RSSBytes != -1 {
+			t.Errorf("RSSBytes = %d without /proc, want -1", ps.RSSBytes)
+		}
+		if ps.FDs != -1 {
+			t.Errorf("FDs = %d without /proc, want -1", ps.FDs)
+		}
+	}
+}
+
+func TestCountFDsUnder(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("needs /proc")
+	}
+	dir := t.TempDir()
+	if n := CountFDsUnder(dir); n != 0 {
+		t.Fatalf("fresh dir: CountFDsUnder = %d, want 0", n)
+	}
+	f, err := os.Create(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountFDsUnder(dir); n != 1 {
+		t.Errorf("one open file: CountFDsUnder = %d, want 1", n)
+	}
+	// A file open elsewhere must not count toward this dir.
+	other, err := os.CreateTemp(t.TempDir(), "elsewhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountFDsUnder(dir); n != 1 {
+		t.Errorf("unrelated fd leaked into the count: got %d, want 1", n)
+	}
+	_ = other.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := CountFDsUnder(dir); n != 0 {
+		t.Errorf("after close: CountFDsUnder = %d, want 0", n)
+	}
+}

@@ -276,30 +276,44 @@ func pow10(n int) uint64 {
 	return out
 }
 
-// ReadAllAuto sniffs the stream format (classic pcap or pcapng) and
-// returns every record.
-func ReadAllAuto(r io.Reader) ([]Record, error) {
+// RecordReader streams capture records; both the classic Reader and
+// the pcapng NGReader satisfy it. ReadRecord returns io.EOF at end of
+// stream.
+type RecordReader interface {
+	ReadRecord() (Record, error)
+}
+
+// NewAutoReader sniffs the stream format (classic pcap or pcapng) and
+// returns a streaming reader for it: records are parsed one at a time,
+// so arbitrarily large traces replay in constant memory.
+func NewAutoReader(r io.Reader) (RecordReader, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(4)
 	if err != nil {
 		return nil, fmt.Errorf("pcap: sniff format: %w", err)
 	}
 	if binary.LittleEndian.Uint32(magic) == blockSHB {
-		rd, err := NewNGReader(br)
+		return NewNGReader(br)
+	}
+	return NewReader(br)
+}
+
+// ReadAllAuto sniffs the stream format (classic pcap or pcapng) and
+// returns every record.
+func ReadAllAuto(r io.Reader) ([]Record, error) {
+	rd, err := NewAutoReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for {
+		rec, err := rd.ReadRecord()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
 		if err != nil {
 			return nil, err
 		}
-		var recs []Record
-		for {
-			rec, err := rd.ReadRecord()
-			if errors.Is(err, io.EOF) {
-				return recs, nil
-			}
-			if err != nil {
-				return nil, err
-			}
-			recs = append(recs, rec)
-		}
+		recs = append(recs, rec)
 	}
-	return ReadAll(br)
 }

@@ -1,0 +1,158 @@
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Goroutine-leak detection by snapshot diff. The repo's long-lived
+// subsystems all follow the managed-goroutine pattern (construction
+// starts workers, Close/Shutdown stops them and waits), so after a
+// clean teardown the set of live goroutines must return to exactly
+// what it was before construction. AssertNoGoroutineLeaks pins that:
+//
+//	defer testutil.AssertNoGoroutineLeaks(t)()
+//
+// snapshots the live goroutines at the defer statement and re-diffs at
+// test exit. Goroutines that legitimately outlive a test — the testing
+// framework itself, runtime helpers, the signal loop — are allowlisted
+// by stack substring; extra allowlist entries can be passed for
+// goroutines a specific test knowingly leaves behind. A grace window
+// absorbs teardown stragglers (a worker between its channel receive
+// and its final return is not a leak), re-polling until the diff is
+// empty or the window lapses.
+
+// leakAllowlist matches goroutines that are part of the process, not
+// of the system under test. Matching is by substring anywhere in the
+// goroutine's stack dump, so entries can name functions, packages, or
+// states.
+var leakAllowlist = []string{
+	"testing.(*T).Run",           // the test runner itself
+	"testing.(*M).startAlarm",    // -timeout watchdog
+	"testing.runFuzzing",         // fuzz workers
+	"testing.(*F).Fuzz",          //
+	"runtime.goexit0",            // exiting, not leaked
+	"runtime.gc",                 // background collector
+	"runtime.bgsweep",            //
+	"runtime.bgscavenge",         //
+	"runtime.forcegchelper",      //
+	"runtime.ReadTrace",          //
+	"os/signal.signal_recv",      // signal.Notify loop
+	"os/signal.loop",             //
+	"net/http.(*persistConn)",    // idle keep-alive conns from httptest
+	"net/http.(*Transport)",      //
+	"internal/poll.runtime_poll", // netpoller parked readers
+}
+
+// goroutineSnapshot maps a goroutine id to its stack dump.
+type goroutineSnapshot map[string]string
+
+// snapshotGoroutines parses runtime.Stack(all) into one entry per
+// goroutine, keyed by goroutine id.
+func snapshotGoroutines() goroutineSnapshot {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	snap := make(goroutineSnapshot)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		id := goroutineID(g)
+		if id != "" {
+			snap[id] = g
+		}
+	}
+	return snap
+}
+
+// goroutineID extracts the numeric id from a "goroutine N [state]:"
+// header, or "" for unparseable chunks.
+func goroutineID(stack string) string {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(stack, prefix) {
+		return ""
+	}
+	rest := stack[len(prefix):]
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		return rest[:i]
+	}
+	return ""
+}
+
+func allowlisted(stack string, extra []string) bool {
+	for _, pat := range leakAllowlist {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	for _, pat := range extra {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// leaked returns the stacks of goroutines live now that were neither
+// present in before nor allowlisted.
+func leaked(before goroutineSnapshot, extra []string) []string {
+	var out []string
+	for id, stack := range snapshotGoroutines() {
+		if _, ok := before[id]; ok {
+			continue
+		}
+		if allowlisted(stack, extra) {
+			continue
+		}
+		out = append(out, stack)
+	}
+	return out
+}
+
+// leakGrace is how long the checker re-polls before declaring a leak:
+// long enough for a just-signalled worker to reach its final return
+// under -race on a loaded host, short enough not to stall the suite.
+const leakGrace = 5 * time.Second
+
+// AssertNoGoroutineLeaks snapshots the live goroutines and returns a
+// check function for deferred execution: the check re-diffs against
+// the snapshot, re-polling through a grace window, and fails the test
+// with the full stacks of whatever is still running. Extra allowlist
+// substrings exempt goroutines the test intentionally leaves behind.
+//
+// Usage: defer testutil.AssertNoGoroutineLeaks(t, extra...)()
+func AssertNoGoroutineLeaks(t testing.TB, extra ...string) func() {
+	t.Helper()
+	before := snapshotGoroutines()
+	return func() {
+		t.Helper()
+		if t.Failed() {
+			// A failing test may have bailed before its teardown; the
+			// leak report would bury the real failure.
+			return
+		}
+		var last []string
+		deadline := time.Now().Add(leakGrace)
+		for delay := time.Millisecond; ; delay *= 2 {
+			last = leaked(before, extra)
+			if len(last) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			if delay > 100*time.Millisecond {
+				delay = 100 * time.Millisecond
+			}
+			time.Sleep(delay)
+		}
+		t.Errorf("%d goroutine(s) leaked past teardown:\n\n%s",
+			len(last), strings.Join(last, "\n\n"))
+	}
+}
