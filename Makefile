@@ -3,7 +3,8 @@
 # pass when the tooling is installed + shuffled full test suite + a
 # short -race pass over the gateway, online learner, durable store,
 # metrics registry and fleet control plane + the crash fault-injection
-# sweep + a short fuzz pass over the capture ring and readers, the
+# sweep + the seeded fleet-link chaos sweep (see `make chaos`) + a
+# short fuzz pass over the capture ring and readers, the
 # model deserializer, the cluster-linkage input and the fleet wire
 # decoders + a short sustained-load soak with its leak/latency gates);
 # `make test-race` covers the concurrent
@@ -11,6 +12,8 @@
 # enforcement plane in full;
 # `make fuzz` runs each fuzz target for FUZZTIME; `make crash` runs the
 # journal truncation/corruption sweeps and restart differential tests;
+# `make chaos` runs the fleet-link fault-injection suites under a
+# logged CHAOS_SEED (override to reproduce a failing schedule);
 # `make bench` runs every paper-table benchmark plus the parallel
 # train/identify sweeps; `make bench-json` archives the hot-path
 # benchmarks as BENCH_<date>.json for cross-commit diffing;
@@ -38,8 +41,12 @@ FUZZTIME ?= 10s
 # a real fleet's device population on one gateway.
 SOAK_DURATION ?= 30s
 SOAK_DEVICES ?= 10000
+# Seed for the chaos-conn fault schedule. Defaults to today's date so
+# routine runs rotate through schedules; a failing run is reproduced by
+# re-running with the seed it logged.
+CHAOS_SEED ?= $(shell date +%Y%m%d)
 
-.PHONY: all build vet fmt-check vulncheck verify test test-race fuzz crash soak soak-check bench bench-parallel bench-json bench-check clean
+.PHONY: all build vet fmt-check vulncheck verify test test-race fuzz crash chaos soak soak-check bench bench-parallel bench-json bench-check clean
 
 all: verify
 
@@ -61,8 +68,9 @@ vulncheck:
 
 verify: vet fmt-check build vulncheck
 	$(GO) test -shuffle=on ./...
-	$(GO) test -race -count=1 ./internal/fleet/... ./internal/gateway/... ./internal/learn/... ./internal/obs/... ./internal/store/...
+	$(GO) test -race -count=1 ./internal/chaos/... ./internal/fleet/... ./internal/gateway/... ./internal/learn/... ./internal/obs/... ./internal/store/...
 	$(MAKE) crash
+	$(MAKE) chaos
 	$(MAKE) fuzz
 	$(MAKE) soak
 
@@ -76,7 +84,7 @@ test: vet build
 	$(GO) test -shuffle=on ./...
 
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/fleet/... ./internal/gateway/... ./internal/iotssp/... ./internal/learn/... ./internal/sdn/...
+	$(GO) test -race ./internal/chaos/... ./internal/core/... ./internal/fleet/... ./internal/gateway/... ./internal/iotssp/... ./internal/learn/... ./internal/sdn/...
 
 fuzz:
 	$(GO) test -fuzz='^FuzzRingDelivery$$' -fuzztime=$(FUZZTIME) ./internal/capture/
@@ -94,6 +102,13 @@ fuzz:
 crash:
 	$(GO) test -count=1 -run 'TestCrashRecovery|TestRestartResumes|TestJournalTornTail|TestJournalCorruption|TestSnapshotCorruption' \
 		./internal/gateway/ ./internal/store/
+
+# The fleet-link chaos sweep: the seed-driven fault middleware's own
+# suite plus the e2e canary-rollout-under-faults and half-open-peer
+# scenarios, pinned to CHAOS_SEED so a red run reproduces exactly.
+chaos:
+	@echo "chaos: CHAOS_SEED=$(CHAOS_SEED)"
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -run 'TestChaos' ./internal/chaos/ ./internal/fleet/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -18,15 +18,21 @@ import (
 // soakDoc mirrors the subset of loadgen's SOAK_<date>.json schema the
 // delta needs.
 type soakDoc struct {
-	Date             string   `json:"date"`
-	DurationSeconds  float64  `json:"duration_seconds"`
-	DevicesModeled   int      `json:"devices_modeled"`
-	Packets          uint64   `json:"packets"`
-	SustainedPPS     float64  `json:"sustained_pps"`
-	P99HandleSeconds float64  `json:"p99_handle_seconds"`
-	MaxRSSBytes      int64    `json:"max_rss_bytes"`
-	Pass             bool     `json:"pass"`
-	Failures         []string `json:"failures"`
+	Date             string  `json:"date"`
+	DurationSeconds  float64 `json:"duration_seconds"`
+	DevicesModeled   int     `json:"devices_modeled"`
+	Packets          uint64  `json:"packets"`
+	SustainedPPS     float64 `json:"sustained_pps"`
+	P99HandleSeconds float64 `json:"p99_handle_seconds"`
+	MaxRSSBytes      int64   `json:"max_rss_bytes"`
+	// Fleet-link resilience counters (zero in archives predating the
+	// chaos-faulted fleet uplink leg of the soak).
+	FleetReconnects   uint64   `json:"fleet_reconnects"`
+	FleetSpoolDropped uint64   `json:"fleet_spool_dropped"`
+	FleetLinkResets   uint64   `json:"fleet_link_resets"`
+	FleetIngested     uint64   `json:"fleet_ingested"`
+	Pass              bool     `json:"pass"`
+	Failures          []string `json:"failures"`
 }
 
 // resolveSoakFiles turns the -soak-delta argument into (old, new)
@@ -85,6 +91,10 @@ func runSoakDelta(out io.Writer, arg string, threshold float64) error {
 	fmt.Fprintf(out, "%-22s %14.0f %14.0f\n", "sustained pkt/s", oldDoc.SustainedPPS, newDoc.SustainedPPS)
 	fmt.Fprintf(out, "%-22s %13.1fµ %13.1fµ\n", "p99 HandlePacket", oldDoc.P99HandleSeconds*1e6, newDoc.P99HandleSeconds*1e6)
 	fmt.Fprintf(out, "%-22s %13dM %13dM\n", "max RSS", oldDoc.MaxRSSBytes>>20, newDoc.MaxRSSBytes>>20)
+	fmt.Fprintf(out, "%-22s %14d %14d\n", "fleet link resets", oldDoc.FleetLinkResets, newDoc.FleetLinkResets)
+	fmt.Fprintf(out, "%-22s %14d %14d\n", "fleet reconnects", oldDoc.FleetReconnects, newDoc.FleetReconnects)
+	fmt.Fprintf(out, "%-22s %14d %14d\n", "fleet spool dropped", oldDoc.FleetSpoolDropped, newDoc.FleetSpoolDropped)
+	fmt.Fprintf(out, "%-22s %14d %14d\n", "fleet ingested", oldDoc.FleetIngested, newDoc.FleetIngested)
 
 	if !newDoc.Pass {
 		return fmt.Errorf("newest soak run failed its own gates: %s", strings.Join(newDoc.Failures, "; "))

@@ -17,8 +17,15 @@
 // fingerprints stream up for central aggregation and learning,
 // heartbeats keep the registration lease alive, and versioned model
 // banks pushed down (including canary rollout candidates) hot-swap
-// into the local service without dropping a packet. Link errors are
-// log-only — the local bank keeps serving offline.
+// into the local service without dropping a packet. The link is
+// managed by a fleet.Session: it auto-reconnects under jittered
+// backoff, spools un-acked fingerprint batches across disconnects and
+// replays them after the re-handshake, and surfaces Degraded through
+// /healthz — the local bank keeps serving fail-closed either way.
+//
+// With -metrics-addr, the metrics listener also serves /healthz
+// (liveness + per-subsystem report) and /readyz (503 until every
+// critical subsystem — the durable store — is healthy).
 //
 // With -state-dir, device lifecycle state is journaled and the trained
 // model bank is persisted: a restart recovers every device, its
@@ -43,6 +50,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -90,6 +98,7 @@ func run(args []string, out io.Writer) error {
 		learnK        = fs.Int("learn-k", learn.DefaultK, "unknown-cluster size that proposes a new device-type")
 		fleetAddr     = fs.String("fleet", "", "iotsspd fleet address (host:port); stream fingerprints up, receive model banks down (in-process service only)")
 		fleetID       = fs.String("fleet-id", "", "stable gateway identity in the fleet (default: hostname)")
+		fleetSpool    = fs.Int("fleet-spool", fleet.DefaultSpoolBatches, "un-acked fingerprint batches retained for replay across fleet-link drops")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +110,11 @@ func run(args []string, out io.Writer) error {
 		reg = obs.NewRegistry()
 		gwMetrics = gateway.NewMetrics(reg)
 	}
+
+	// Health probes accumulate as subsystems come up; the registry is
+	// served next to /metrics once the daemon reaches serving mode.
+	health := obs.NewHealth()
+	var hs healthState
 
 	// Durable state: open (and recover) before anything else so a torn
 	// journal is discovered — and truncated — before new events append.
@@ -119,11 +133,19 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("state dir: %w", err)
 		}
+		if rec.Degraded {
+			hs.storeErr.Store("recovery was degraded; fail-closed sweep applied")
+		}
+		health.Register("store", true, hs.storeProbe)
 	}
 
-	assessor, svc, err := buildAssessor(out, reg, st, *sspURL, *captures, *seed, *workers, *cacheSize, *assessTimeout, *assessRetries)
+	assessor, svc, breaker, err := buildAssessor(out, reg, st, *sspURL, *captures, *seed, *workers, *cacheSize, *assessTimeout, *assessRetries)
 	if err != nil {
 		return err
+	}
+	if breaker != nil {
+		hs.breaker = breaker
+		health.Register("assessor_breaker", false, hs.breakerProbe)
 	}
 
 	// Online learning: unknown fingerprints flow from the gateway's
@@ -140,7 +162,10 @@ func run(args []string, out io.Writer) error {
 	// Fleet link: register with the central iotsspd, stream observed
 	// fingerprints up the persistent connection, and hot-swap model
 	// banks pushed down into the local service. The assessor wrapper
-	// keeps the fast local path — the link only adds telemetry.
+	// keeps the fast local path — the link only adds telemetry. The
+	// managed session reconnects under backoff and spools un-acked
+	// batches across drops; a fleet that is down at boot just means
+	// the link starts Degraded and keeps dialing.
 	if *fleetAddr != "" {
 		if svc == nil {
 			return fmt.Errorf("-fleet requires the in-process service (remove -ssp)")
@@ -153,33 +178,48 @@ func run(args []string, out io.Writer) error {
 			}
 			gwID = h
 		}
-		fleetCl, err := fleet.Dial(fleet.ClientConfig{
-			Addr:      *fleetAddr,
-			GatewayID: gwID,
-			ApplyModel: func(sha string, model []byte) error {
-				if err := applyFleetModel(svc, model, *workers, *cacheSize); err != nil {
-					return err
-				}
-				if st != nil {
-					// Persist the adopted bank so the next boot serves
-					// the fleet version warm (best effort: the fleet
-					// re-pushes on the next connect either way).
-					if _, err := st.Models().Save(svc.Identifier()); err != nil {
-						fmt.Fprintf(out, "fleet: persist pushed model %.12s: %v\n", sha, err)
+		var linkMetrics *fleet.Metrics
+		if reg != nil {
+			linkMetrics = fleet.NewLinkMetrics(reg)
+		}
+		session, err := fleet.NewSession(fleet.SessionConfig{
+			Client: fleet.ClientConfig{
+				Addr:      *fleetAddr,
+				GatewayID: gwID,
+				ApplyModel: func(sha string, model []byte) error {
+					if err := applyFleetModel(svc, model, *workers, *cacheSize); err != nil {
+						return err
 					}
-				}
-				fmt.Fprintf(out, "fleet: hot-swapped pushed model %.12s\n", sha)
-				return nil
+					if st != nil {
+						// Persist the adopted bank so the next boot serves
+						// the fleet version warm (best effort: the fleet
+						// re-pushes on the next connect either way).
+						if _, err := st.Models().Save(svc.Identifier()); err != nil {
+							fmt.Fprintf(out, "fleet: persist pushed model %.12s: %v\n", sha, err)
+						}
+					}
+					fmt.Fprintf(out, "fleet: hot-swapped pushed model %.12s\n", sha)
+					return nil
+				},
+				FlushInterval: time.Second,
+				Logf:          func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) },
 			},
-			FlushInterval: time.Second,
-			Logf:          func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) },
+			Retry:        iotssp.RetryPolicy{Seed: uint64(*seed)},
+			SpoolBatches: *fleetSpool,
+			Metrics:      linkMetrics,
+			OnState: func(state fleet.SessionState) {
+				hs.fleetState.Store(int32(state))
+				fmt.Fprintf(out, "fleet: link %s\n", state)
+			},
 		})
 		if err != nil {
 			return fmt.Errorf("fleet: %w", err)
 		}
-		defer fleetCl.Close()
-		assessor = &fleetAssessor{inner: svc, cl: fleetCl}
-		fmt.Fprintf(out, "fleet: linked to %s as %q\n", *fleetAddr, gwID)
+		defer session.Close()
+		hs.session = session
+		health.Register("fleet_link", false, hs.fleetProbe)
+		assessor = &fleetAssessor{inner: svc, cl: session}
+		fmt.Fprintf(out, "fleet: linked to %s as %q (auto-reconnect, spool %d batches)\n", *fleetAddr, gwID, *fleetSpool)
 	}
 
 	cache := sdn.NewRuleCache()
@@ -193,6 +233,7 @@ func run(args []string, out io.Writer) error {
 		Metrics: gwMetrics,
 		Store:   st,
 		OnStoreError: func(err error) {
+			hs.storeErr.Store("journal: " + err.Error())
 			fmt.Fprintf(os.Stderr, "gatewayd: state journal: %v\n", err)
 		},
 		OnAssessed: func(d gateway.DeviceInfo) {
@@ -259,9 +300,12 @@ func run(args []string, out io.Writer) error {
 		if reg != nil {
 			capMetrics = capture.NewMetrics(reg)
 		}
-		if err := replay(out, gw, *replayDir, *capReaders, capMetrics); err != nil {
+		drops, err := replay(out, gw, *replayDir, *capReaders, capMetrics)
+		if err != nil {
 			return err
 		}
+		hs.captureDrops.Store(drops)
+		health.Register("capture", false, hs.captureProbe)
 		if learner != nil {
 			// Let replay-triggered clustering and promotions settle so a
 			// -oneshot exit (and its checkpoint) captures what the replay
@@ -278,8 +322,8 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("metrics listen: %w", err)
 		}
-		msrv := &http.Server{Handler: metricsMux(reg), ReadHeaderTimeout: 10 * time.Second}
-		fmt.Fprintf(out, "metrics listening on http://%s/metrics\n", mln.Addr())
+		msrv := &http.Server{Handler: metricsMux(reg, health), ReadHeaderTimeout: 10 * time.Second}
+		fmt.Fprintf(out, "metrics listening on http://%s/metrics (plus /healthz, /readyz)\n", mln.Addr())
 		go func() { _ = msrv.Serve(mln) }()
 		defer func() { _ = msrv.Close() }()
 	}
@@ -327,9 +371,10 @@ func run(args []string, out io.Writer) error {
 // in-process path warm-boots from the persisted model bank (validated
 // before use) and falls back to training — then persists the result so
 // the next boot is warm. The returned *Service is nil for the remote
-// client (there is no local bank to hot-reload).
+// client (there is no local bank to hot-reload), and the breaker is
+// nil for the in-process path (there is no remote call to break).
 func buildAssessor(out io.Writer, reg *obs.Registry, st *store.Store, sspURL string, captures int, seed int64, workers, cacheSize int,
-	assessTimeout time.Duration, assessRetries int) (iotssp.Assessor, *iotssp.Service, error) {
+	assessTimeout time.Duration, assessRetries int) (iotssp.Assessor, *iotssp.Service, *iotssp.CircuitBreaker, error) {
 	if sspURL != "" {
 		fmt.Fprintf(out, "using remote IoT Security Service at %s\n", sspURL)
 		if assessRetries < 0 {
@@ -346,18 +391,18 @@ func buildAssessor(out io.Writer, reg *obs.Registry, st *store.Store, sspURL str
 			client.Metrics = iotssp.NewClientMetrics(reg)
 			client.Metrics.ObserveBreaker(breaker)
 		}
-		return client, nil, nil
+		return client, nil, breaker, nil
 	}
 
 	id, err := loadOrTrain(out, st, captures, seed, workers, cacheSize)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if reg != nil {
 		id.SetMetrics(core.NewMetrics(reg))
 	}
 	svc := iotssp.New(id, vulndb.NewDefault())
-	return svc, svc, nil
+	return svc, svc, nil, nil
 }
 
 // loadOrTrain is the warm-boot path: a valid persisted model loads in
@@ -472,11 +517,11 @@ func buildLearner(out io.Writer, reg *obs.Registry, st *store.Store, svc *iotssp
 // fleetAssessor decorates the in-process service with the fleet link:
 // every assessment bumps the cumulative counters canary rollouts are
 // judged by, and every assessed fingerprint streams to the central
-// service. Streaming is fire-and-forget — a dead link never fails a
-// local assessment.
+// service. Streaming is fire-and-forget — a Degraded link spools the
+// observations for replay and never fails a local assessment.
 type fleetAssessor struct {
 	inner *iotssp.Service
-	cl    *fleet.Client
+	cl    *fleet.Session
 }
 
 func (fa *fleetAssessor) Assess(fp fingerprint.Fingerprint) (iotssp.Assessment, error) {
@@ -518,11 +563,14 @@ func applyFleetModel(svc *iotssp.Service, model []byte, workers, cacheSize int) 
 }
 
 // metricsMux serves the observability endpoints: Prometheus-text
-// /metrics plus the standard pprof handlers, on their own listener so
-// operational traffic never mixes with the management API.
-func metricsMux(reg *obs.Registry) *http.ServeMux {
+// /metrics, /healthz + /readyz, plus the standard pprof handlers, on
+// their own listener so operational traffic never mixes with the
+// management API.
+func metricsMux(reg *obs.Registry, health *obs.Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/healthz", health.LiveHandler())
+	mux.Handle("/readyz", health.ReadyHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -531,14 +579,64 @@ func metricsMux(reg *obs.Registry) *http.ServeMux {
 	return mux
 }
 
+// healthState is what the /healthz probes read: cheap atomics updated
+// from the subsystems' own callbacks, never a blocking call.
+type healthState struct {
+	storeErr     atomic.Value // string: last journal error or recovery degradation
+	session      *fleet.Session
+	fleetState   atomic.Int32
+	breaker      *iotssp.CircuitBreaker
+	captureDrops atomic.Uint64
+}
+
+// storeProbe: the durable store is the one critical subsystem — a
+// degraded journal means recovered state may be incomplete, and the
+// fail-closed posture wants traffic routed elsewhere.
+func (hs *healthState) storeProbe() (obs.HealthStatus, string) {
+	if msg, _ := hs.storeErr.Load().(string); msg != "" {
+		return obs.HealthDegraded, msg
+	}
+	return obs.HealthOK, ""
+}
+
+// fleetProbe is deliberately non-critical: a Degraded link spools and
+// redials while local serving continues fail-closed, so it must not
+// pull the gateway out of rotation.
+func (hs *healthState) fleetProbe() (obs.HealthStatus, string) {
+	stats := hs.session.Stats()
+	detail := fmt.Sprintf("reconnects %d, spool %d batches, dropped %d fingerprints",
+		stats.Reconnects, stats.SpoolDepth, stats.SpoolDropped)
+	if fleet.SessionState(hs.fleetState.Load()) != fleet.SessionConnected {
+		return obs.HealthDegraded, detail
+	}
+	return obs.HealthOK, detail
+}
+
+func (hs *healthState) breakerProbe() (obs.HealthStatus, string) {
+	state := hs.breaker.State()
+	if state != iotssp.BreakerClosed {
+		return obs.HealthDegraded, "circuit breaker " + state.String()
+	}
+	return obs.HealthOK, ""
+}
+
+func (hs *healthState) captureProbe() (obs.HealthStatus, string) {
+	if drops := hs.captureDrops.Load(); drops > 0 {
+		return obs.HealthDegraded, fmt.Sprintf("%d frames shed during replay", drops)
+	}
+	return obs.HealthOK, ""
+}
+
 // replay streams every pcap in dir through the capture front end —
 // demux, MAC-hash fanout, per-CPU readers — into the gateway's data
 // path, then force-finishes any still-monitoring devices. This is the
-// same ingest pipeline a live interface feeds, just sourced from disk.
-func replay(out io.Writer, gw *gateway.Gateway, dir string, readers int, cm *capture.Metrics) error {
+// same ingest pipeline a live interface feeds, just sourced from
+// disk. Returns how many frames the ring fanout shed (slow-consumer
+// drops, surfaced through the capture health probe).
+func replay(out io.Writer, gw *gateway.Gateway, dir string, readers int, cm *capture.Metrics) (uint64, error) {
 	src, err := capture.NewDirSource(dir)
 	if err != nil {
-		return fmt.Errorf("replay: %w", err)
+		return 0, fmt.Errorf("replay: %w", err)
 	}
 	var (
 		mu     sync.Mutex
@@ -563,21 +661,22 @@ func replay(out io.Writer, gw *gateway.Gateway, dir string, readers int, cm *cap
 		mu.Unlock()
 	}, capture.PumpConfig{Readers: readers, Metrics: cm})
 	if err := pump.Wait(); err != nil {
-		return fmt.Errorf("replay: %w", err)
+		return 0, fmt.Errorf("replay: %w", err)
 	}
+	drops := pump.Fanout().Drops()
 	if hpErr != nil {
-		return fmt.Errorf("replay: %w", hpErr)
+		return drops, fmt.Errorf("replay: %w", hpErr)
 	}
 	// Any devices still monitoring saw their whole capture: drain the
 	// monitoring queue as one batch so the pending fingerprints
 	// pipeline through the classifier bank's worker pool.
 	if _, err := gw.FinishAllSetups(last.Add(time.Minute)); err != nil {
-		return fmt.Errorf("replay finish: %w", err)
+		return drops, fmt.Errorf("replay finish: %w", err)
 	}
 	quarantined := gw.QuarantineLen()
 	fmt.Fprintf(out, "replayed %d frames from %d captures; %d devices assessed, %d quarantined\n",
 		frames, src.Files(), len(gw.Devices())-quarantined, quarantined)
-	return nil
+	return drops, nil
 }
 
 func mustPrefix() netip.Prefix {

@@ -87,6 +87,9 @@ func run(args []string, out io.Writer) error {
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	// /healthz + /readyz ride on the metrics listener: probes register
+	// as subsystems come up.
+	health := obs.NewHealth()
 
 	var id *core.Identifier
 	if *modelFile != "" {
@@ -143,6 +146,13 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("state dir: %w", err)
 		}
 		defer func() { _ = st.Close() }()
+		degraded := rec.Degraded
+		health.Register("store", true, func() (obs.HealthStatus, string) {
+			if degraded {
+				return obs.HealthDegraded, "recovery was degraded; fail-closed sweep applied"
+			}
+			return obs.HealthOK, ""
+		})
 	}
 
 	// Fleet control plane: registry + rollout controller + binary
@@ -237,6 +247,11 @@ func run(args []string, out io.Writer) error {
 			fln.Addr(), *fleetLease, *canaryFrac*100)
 		go func() { _ = fsrv.Serve(fln) }()
 		defer func() { _ = fsrv.Close() }()
+		// Non-critical: a gatewayless control plane is a quiet fleet,
+		// not a broken service.
+		health.Register("fleet", false, func() (obs.HealthStatus, string) {
+			return obs.HealthOK, fmt.Sprintf("%d gateways registered", len(registry.IDs()))
+		})
 	}
 
 	if *learnOn {
@@ -304,15 +319,20 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("metrics listen: %w", err)
 		}
+		health.Register("serving_bank", true, func() (obs.HealthStatus, string) {
+			return obs.HealthOK, fmt.Sprintf("%d device-types", svc.Identifier().NumTypes())
+		})
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(reg))
+		mux.Handle("/healthz", health.LiveHandler())
+		mux.Handle("/readyz", health.ReadyHandler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		msrv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-		fmt.Fprintf(out, "metrics listening on http://%s/metrics\n", mln.Addr())
+		fmt.Fprintf(out, "metrics listening on http://%s/metrics (plus /healthz, /readyz)\n", mln.Addr())
 		go func() { _ = msrv.Serve(mln) }()
 		defer func() { _ = msrv.Close() }()
 	}

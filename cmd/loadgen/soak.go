@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -24,9 +25,11 @@ import (
 	"time"
 
 	"iotsentinel/internal/capture"
+	"iotsentinel/internal/chaos"
 	"iotsentinel/internal/core"
 	"iotsentinel/internal/devices"
 	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/fleet"
 	"iotsentinel/internal/gateway"
 	"iotsentinel/internal/iotssp"
 	"iotsentinel/internal/learn"
@@ -36,6 +39,12 @@ import (
 	"iotsentinel/internal/store"
 	"iotsentinel/internal/vulndb"
 )
+
+// soakFleetCut is the chaos byte budget on the soak fleet link: each
+// connection is torn down after roughly this much traffic (jittered),
+// so a soak long enough to stream a few megabytes of fingerprints
+// exercises the reconnect/replay machinery continuously.
+const soakFleetCut = 1 << 20
 
 // soakIdleGap is the gateway idle gap during soak. Device-local
 // virtual clocks jump past it between cycles, so every cycle's first
@@ -62,6 +71,7 @@ type soakConfig struct {
 	p99Ceiling time.Duration
 	rssCeiling int64
 	flakeRate  float64
+	fleet      bool
 	outPath    string
 }
 
@@ -108,6 +118,10 @@ type soakSummary struct {
 	UnknownObserved    uint64       `json:"unknown_observed"`
 	TypesPromoted      uint64       `json:"types_promoted"`
 	CaptureDrops       uint64       `json:"capture_drops"`
+	FleetReconnects    uint64       `json:"fleet_reconnects"`
+	FleetSpoolDropped  uint64       `json:"fleet_spool_dropped"`
+	FleetLinkResets    uint64       `json:"fleet_link_resets"`
+	FleetIngested      uint64       `json:"fleet_ingested"`
 	Pass               bool         `json:"pass"`
 	Failures           []string     `json:"failures,omitempty"`
 	Samples            []soakSample `json:"samples"`
@@ -132,6 +146,7 @@ type soakDevice struct {
 // single-assessment code path.
 type flakyAssessor struct {
 	svc  *iotssp.Service
+	sess *fleet.Session // nil without the fleet leg
 	mu   sync.Mutex
 	rng  *rand.Rand
 	rate float64
@@ -146,7 +161,15 @@ func (f *flakyAssessor) Assess(fp fingerprint.Fingerprint) (iotssp.Assessment, e
 	if flake {
 		return iotssp.Assessment{}, errInjectedFlake
 	}
-	return f.svc.Assess(fp)
+	a, err := f.svc.Assess(fp)
+	if err == nil && f.sess != nil {
+		// Same shape as gatewayd's fleet decoration: counters plus a
+		// fire-and-forget observation stream. A Degraded link spools;
+		// it never fails or slows the local assessment verdict.
+		f.sess.RecordAssessment(!a.Known)
+		_ = f.sess.Observe(fp)
+	}
+	return a, err
 }
 
 // buildSoakPool generates the modeled population: cfg.devices captures
@@ -332,7 +355,59 @@ func runSoak(out io.Writer, cfg soakConfig) error {
 	gm := gateway.NewMetrics(reg)
 	cm := capture.NewMetrics(reg)
 
-	flaky := &flakyAssessor{svc: svc, rng: rand.New(rand.NewSource(cfg.seed)), rate: cfg.flakeRate}
+	// The fleet leg: an in-process fleet server reached only through a
+	// seeded chaos dialer that tears the connection down every ~1MB, so
+	// the soak's fingerprint stream runs on a permanently flaky uplink.
+	// The gates below must stay green regardless — fleet-link weather
+	// is not allowed to touch the packet path.
+	var (
+		sess          *fleet.Session
+		fleetSrv      *fleet.Server
+		fleetDialer   *chaos.Dialer
+		fleetIngested atomic.Uint64
+	)
+	if cfg.fleet {
+		freg := fleet.NewRegistry(2*time.Second, nil)
+		fleetSrv, err = fleet.NewServer(fleet.ServerConfig{
+			Registry: freg,
+			Ingest: func(fps []fingerprint.Fingerprint) int {
+				fleetIngested.Add(uint64(len(fps)))
+				return 0
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go fleetSrv.Serve(fln)
+		fleetAddr := fln.Addr().String()
+		fleetDialer = chaos.NewDialer(func() (net.Conn, error) {
+			return net.Dial("tcp", fleetAddr)
+		}, chaos.Config{
+			Seed:          uint64(cfg.seed),
+			Latency:       200 * time.Microsecond,
+			CutAfterBytes: soakFleetCut,
+		})
+		sess, err = fleet.NewSession(fleet.SessionConfig{
+			Client: fleet.ClientConfig{
+				GatewayID:     "soak-gw",
+				Heartbeat:     250 * time.Millisecond,
+				FlushInterval: 500 * time.Millisecond,
+				Dialer:        fleetDialer.Dial,
+			},
+			Metrics: fleet.NewLinkMetrics(reg),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "soak: fleet uplink under chaos (seed %d, cut ~%d KB per conn, ≤200µs injected latency)\n",
+			cfg.seed, soakFleetCut>>10)
+	}
+
+	flaky := &flakyAssessor{svc: svc, sess: sess, rng: rand.New(rand.NewSource(cfg.seed)), rate: cfg.flakeRate}
 
 	var flaps, unknownSeen, typesPromoted, removals, packets, handleErrs atomic.Uint64
 
@@ -520,6 +595,20 @@ sampleLoop:
 	gw.Close()
 	if err := gw.Checkpoint(); err != nil {
 		failures = append(failures, fmt.Sprintf("final checkpoint: %v", err))
+	}
+	// The fleet leg tears down before the zero-growth gate: its
+	// goroutines (session loops, client per-conn pair, server handlers)
+	// are part of the leak budget like everything else.
+	if sess != nil {
+		sess.Close()
+		fleetSrv.Close()
+		fst := sess.Stats()
+		sum.FleetReconnects = fst.Reconnects
+		sum.FleetSpoolDropped = fst.SpoolDropped
+		sum.FleetLinkResets = fleetDialer.Resets()
+		sum.FleetIngested = fleetIngested.Load()
+		fmt.Fprintf(out, "soak: fleet link survived %d resets (%d reconnects): %d fingerprints ingested centrally, %d dropped at the spool bound\n",
+			sum.FleetLinkResets, sum.FleetReconnects, sum.FleetIngested, sum.FleetSpoolDropped)
 	}
 
 	sum.DurationSeconds = elapsed.Seconds()

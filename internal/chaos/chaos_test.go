@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pipeDialer returns a dialer whose conns are net.Pipe client ends; the
+// server ends are drained (and counted) by a goroutine so writes never
+// block on the in-memory pipe.
+func pipeDialer(t *testing.T, cfg Config) (*Dialer, *atomic.Int64) {
+	t.Helper()
+	var delivered atomic.Int64
+	d := NewDialer(func() (net.Conn, error) {
+		c, s := net.Pipe()
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				n, err := s.Read(buf)
+				delivered.Add(int64(n))
+				if err != nil {
+					return
+				}
+			}
+		}()
+		return c, nil
+	}, cfg)
+	return d, &delivered
+}
+
+// bytesUntilReset writes one byte at a time until the conn dies and
+// returns how many bytes the wrapper accepted.
+func bytesUntilReset(t *testing.T, c net.Conn) int {
+	t.Helper()
+	one := []byte{0x42}
+	for i := 0; i < 1<<20; i++ {
+		if _, err := c.Write(one); err != nil {
+			return i
+		}
+	}
+	t.Fatal("connection never reset")
+	return 0
+}
+
+// TestChaosCutDeterminism: the same seed produces the same per-conn
+// cut schedule — the property that makes a failed chaos run
+// reproducible from its logged seed.
+func TestChaosCutDeterminism(t *testing.T) {
+	cfg := Config{Seed: 0xfeedface, CutAfterBytes: 500}
+	cuts := func() []int {
+		d, _ := pipeDialer(t, cfg)
+		var out []int
+		for i := 0; i < 3; i++ {
+			c, err := d.Dial()
+			if err != nil {
+				t.Fatalf("dial %d: %v", i, err)
+			}
+			out = append(out, bytesUntilReset(t, c))
+		}
+		return out
+	}
+	a, b := cuts(), cuts()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("conn %d cut after %d bytes on run A, %d on run B — schedule not deterministic", i, a[i], b[i])
+		}
+		if a[i] < 250 || a[i] > 750 {
+			t.Fatalf("conn %d budget %d outside the jitter band [250,750)", i, a[i])
+		}
+	}
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Fatalf("all conns cut at the same offset (%d): per-conn jitter missing", a[0])
+	}
+	if d, _ := pipeDialer(t, cfg); d.Resets() != 0 {
+		t.Fatal("fresh dialer reports resets")
+	}
+}
+
+// TestChaosTornWrite: the killing write delivers exactly the prefix
+// under the budget — a frame cut at an arbitrary byte offset — and
+// surfaces ErrReset; the peer then sees the conn closed.
+func TestChaosTornWrite(t *testing.T) {
+	d, delivered := pipeDialer(t, Config{Seed: 7, CutAfterBytes: 100})
+	c, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 4096)
+	n, err := c.Write(big)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("Write = (%d, %v), want ErrReset", n, err)
+	}
+	if n >= len(big) || n < 50 || n > 150 {
+		t.Fatalf("torn prefix %d bytes, want a partial frame inside the jittered budget", n)
+	}
+	if d.Resets() != 1 {
+		t.Fatalf("Resets = %d, want 1", d.Resets())
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for delivered.Load() != int64(n) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := delivered.Load(); got != int64(n) {
+		t.Fatalf("peer saw %d bytes, wrapper reported %d", got, n)
+	}
+	if _, err := c.Write(big); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+// TestChaosBlackhole: a blackholed conn is a half-open peer — writes
+// report success and vanish, reads stay silent but still honor the
+// read deadline, exactly what deadline-based liveness detection needs.
+func TestChaosBlackhole(t *testing.T) {
+	d, delivered := pipeDialer(t, Config{Seed: 1})
+	c, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := c.(*Conn)
+	cc.Blackhole()
+	if n, err := c.Write(make([]byte, 128)); n != 128 || err != nil {
+		t.Fatalf("blackholed Write = (%d, %v), want (128, nil)", n, err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := delivered.Load(); got != 0 {
+		t.Fatalf("peer received %d bytes from a blackholed conn", got)
+	}
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	if _, err := c.Read(make([]byte, 16)); err == nil {
+		t.Fatal("blackholed Read returned data")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("blackholed Read error = %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("read deadline took %v to fire", elapsed)
+	}
+}
+
+// TestChaosBlackholeSwallowsInbound: bytes the peer delivers after the
+// blackhole are discarded, not surfaced — the partition is silent in
+// both directions even though the wrapped conn still flows.
+func TestChaosBlackholeSwallowsInbound(t *testing.T) {
+	client, server := net.Pipe()
+	d := NewDialer(func() (net.Conn, error) { return client, nil }, Config{Seed: 2})
+	c, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.(*Conn).Blackhole()
+	go func() {
+		server.Write([]byte("late delivery"))
+		server.Close()
+	}()
+	c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	n, err := c.Read(make([]byte, 64))
+	if n != 0 || err == nil {
+		t.Fatalf("Read = (%d, %v), want silence then an error", n, err)
+	}
+}
+
+// TestChaosPartition: partitioning fails new dials and blackholes
+// every active conn; healing re-admits dials but leaves the half-open
+// conns dark.
+func TestChaosPartition(t *testing.T) {
+	d, delivered := pipeDialer(t, Config{Seed: 3})
+	c, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Partition()
+	if _, err := d.Dial(); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned Dial error = %v, want ErrPartitioned", err)
+	}
+	if _, err := c.Write(make([]byte, 32)); err != nil {
+		t.Fatalf("partitioned conn Write errored (%v): half-open peers swallow, not fail", err)
+	}
+	d.Heal()
+	c2, err := d.Dial()
+	if err != nil {
+		t.Fatalf("Dial after Heal: %v", err)
+	}
+	if _, err := c2.Write(make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for delivered.Load() != 32 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := delivered.Load(); got != 32 {
+		t.Fatalf("post-heal conn delivered %d bytes (want 32; the old conn must stay dark)", got)
+	}
+}
+
+// TestChaosDialFailEvery: every Nth dial fails, deterministically.
+func TestChaosDialFailEvery(t *testing.T) {
+	d, _ := pipeDialer(t, Config{Seed: 4, DialFailEvery: 3})
+	var failed []int
+	for i := 1; i <= 9; i++ {
+		c, err := d.Dial()
+		if err != nil {
+			failed = append(failed, i)
+			continue
+		}
+		c.Close()
+	}
+	if len(failed) != 3 || failed[0] != 3 || failed[1] != 6 || failed[2] != 9 {
+		t.Fatalf("failed dials = %v, want [3 6 9]", failed)
+	}
+}
+
+// TestChaosZeroConfigTransparent: a zero Config injects nothing, so
+// the faulted and fault-free arms of an A/B test can share one dialer
+// type.
+func TestChaosZeroConfigTransparent(t *testing.T) {
+	d, _ := pipeDialer(t, Config{})
+	c, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<16)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write(payload)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pass-through write: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pass-through write hung")
+	}
+}
+
+// TestChaosBandwidthCap: the throughput cap actually delays — a loose
+// lower bound only, wall clocks on busy hosts run late, never early.
+func TestChaosBandwidthCap(t *testing.T) {
+	d, _ := pipeDialer(t, Config{Seed: 5, BytesPerSec: 10_000})
+	c, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("1000 bytes at 10kB/s took %v, want ≥ 100ms-ish", elapsed)
+	}
+}
+
+var _ net.Conn = (*Conn)(nil)

@@ -38,23 +38,52 @@ type ClientConfig struct {
 	// Heartbeat overrides the heartbeat period (0 selects a third of
 	// the server-granted lease).
 	Heartbeat time.Duration
+	// WriteTimeout bounds every frame write (and the handshake's
+	// welcome read); 0 selects DefaultWriteTimeout. A stalled peer
+	// surfaces as a write error instead of blocking the heartbeat
+	// goroutine forever.
+	WriteTimeout time.Duration
+	// ReadTimeout bounds how long the read loop waits between frames;
+	// 0 derives it from the heartbeat (3 beats plus a second of
+	// slack). The server echoes every heartbeat, so a healthy link
+	// always has inbound traffic inside the window and a half-open
+	// peer is detected when it closes.
+	ReadTimeout time.Duration
+	// OnBatchAck, if set, is called from the reader goroutine for
+	// every batch ack. The server acks batches in order on a
+	// connection, so the Nth ack matches the Nth batch written — the
+	// spool in Session rides on exactly that.
+	OnBatchAck func(accepted, unknown int)
 	// Dialer overrides how the connection is made (tests use
 	// net.Pipe); nil dials TCP to Addr.
 	Dialer func() (net.Conn, error)
 	// Logf, if set, receives lifecycle lines.
 	Logf func(format string, args ...any)
+
+	// counterSrc, when set (by Session), overrides the client's own
+	// cumulative counters as the values sendCounters reports; the
+	// session is then the canonical counter owner across reconnects.
+	counterSrc func() (assessed, unknown uint64)
 }
+
+// DefaultWriteTimeout bounds fleet frame writes when the config does
+// not say otherwise.
+const DefaultWriteTimeout = 10 * time.Second
 
 // Client is a gateway's persistent link to the fleet server: it
 // streams observed fingerprints up in binary batches, reports
 // cumulative assess/unknown counters, refreshes its lease with
-// heartbeats, and applies model banks pushed down. The client does not
-// reconnect: when the link dies the owner decides (gatewayd logs and
-// keeps serving its local bank; tests dial a fresh client).
+// heartbeats, and applies model banks pushed down. A Client is one
+// connection's lifetime — when the link dies it stays dead and Done
+// closes; Session owns reconnection (backoff, spooled replay), and
+// owners that want a resilient link should hold a Session instead.
 type Client struct {
-	cfg   ClientConfig
-	c     net.Conn
-	lease time.Duration
+	cfg          ClientConfig
+	c            net.Conn
+	lease        time.Duration
+	hb           time.Duration
+	writeTimeout time.Duration
+	readTimeout  time.Duration
 
 	writeMu sync.Mutex
 
@@ -91,14 +120,31 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("fleet: dial: %w", err)
 	}
 	cl := &Client{
-		cfg:      cfg,
-		c:        conn,
-		modelSHA: cfg.ModelSHA,
-		done:     make(chan struct{}),
+		cfg:          cfg,
+		c:            conn,
+		modelSHA:     cfg.ModelSHA,
+		writeTimeout: cfg.WriteTimeout,
+		done:         make(chan struct{}),
+	}
+	if cl.writeTimeout <= 0 {
+		cl.writeTimeout = DefaultWriteTimeout
 	}
 	if err := cl.handshake(); err != nil {
 		conn.Close()
 		return nil, err
+	}
+	// The heartbeat period (and from it the read deadline) depends on
+	// the lease the welcome granted, so both resolve post-handshake.
+	cl.hb = cfg.Heartbeat
+	if cl.hb <= 0 {
+		cl.hb = cl.lease / 3
+	}
+	if cl.hb <= 0 {
+		cl.hb = DefaultLease / 3
+	}
+	cl.readTimeout = cfg.ReadTimeout
+	if cl.readTimeout <= 0 {
+		cl.readTimeout = 3*cl.hb + time.Second
 	}
 	cl.wg.Add(2)
 	go cl.readLoop()
@@ -121,7 +167,9 @@ func (cl *Client) handshake() error {
 	if err := cl.writeJSON(ftHello, hello); err != nil {
 		return fmt.Errorf("fleet: hello: %w", err)
 	}
+	cl.c.SetReadDeadline(time.Now().Add(cl.writeTimeout))
 	t, payload, err := readFrame(cl.c)
+	cl.c.SetReadDeadline(time.Time{})
 	if err != nil {
 		return fmt.Errorf("fleet: handshake: %w", err)
 	}
@@ -150,6 +198,7 @@ func (cl *Client) handshake() error {
 func (cl *Client) write(t frameType, payload []byte) error {
 	cl.writeMu.Lock()
 	defer cl.writeMu.Unlock()
+	cl.c.SetWriteDeadline(time.Now().Add(cl.writeTimeout))
 	return writeFrame(cl.c, t, payload)
 }
 
@@ -182,6 +231,10 @@ func (cl *Client) Err() error {
 	defer cl.mu.Unlock()
 	return cl.err
 }
+
+// Done closes when the link is torn down (fatal error or Close);
+// Session's reconnect loop blocks on it.
+func (cl *Client) Done() <-chan struct{} { return cl.done }
 
 // ModelSHA returns the hex SHA-256 of the last bank this client
 // acknowledged applying (or the connect-time value).
@@ -224,7 +277,10 @@ func (cl *Client) RecordAssessment(unknown bool) {
 }
 
 // Flush writes any buffered fingerprints as one batch frame, then any
-// changed counters.
+// changed counters. A failed write tears the link down but the
+// observations are not the link's to lose: the batch goes back to the
+// front of the buffer so the owner (or the Session spool harvesting
+// it) can replay on the next connection.
 func (cl *Client) Flush() error {
 	cl.mu.Lock()
 	buf := cl.buf
@@ -236,6 +292,9 @@ func (cl *Client) Flush() error {
 			return err
 		}
 		if err := cl.write(ftBatch, payload); err != nil {
+			cl.mu.Lock()
+			cl.buf = append(buf, cl.buf...)
+			cl.mu.Unlock()
 			cl.fatal(err)
 			return err
 		}
@@ -243,11 +302,34 @@ func (cl *Client) Flush() error {
 	return cl.sendCounters()
 }
 
+// writeBatch sends one pre-sealed batch frame; Session replays its
+// spool through here, bypassing the client buffer.
+func (cl *Client) writeBatch(fps []fingerprint.Fingerprint) error {
+	payload, err := encodeBatch(nil, fps)
+	if err != nil {
+		return err
+	}
+	if err := cl.write(ftBatch, payload); err != nil {
+		cl.fatal(err)
+		return err
+	}
+	return nil
+}
+
 // sendCounters writes the cumulative counters if they moved since the
-// last send.
+// last send over this connection. sentA/sentU start at zero per conn,
+// so after a reconnect the first send carries the full cumulative
+// values — that is what makes counter resync idempotent server-side.
 func (cl *Client) sendCounters() error {
+	var srcA, srcU uint64
+	if src := cl.cfg.counterSrc; src != nil {
+		srcA, srcU = src()
+	}
 	cl.mu.Lock()
 	a, u := cl.assessed, cl.unknown
+	if cl.cfg.counterSrc != nil {
+		a, u = srcA, srcU
+	}
 	dirty := a != cl.sentA || u != cl.sentU
 	if dirty {
 		cl.sentA, cl.sentU = a, u
@@ -263,20 +345,33 @@ func (cl *Client) sendCounters() error {
 	return nil
 }
 
-// readLoop handles frames from the service: batch acks, model pushes,
-// errors.
+// readLoop handles frames from the service: heartbeat echoes, batch
+// acks, model pushes, errors. The per-frame read deadline is the
+// liveness detector: the server echoes heartbeats, so a healthy link
+// delivers something every beat and a half-open peer times the loop
+// out within ~3 beats instead of blocking forever.
 func (cl *Client) readLoop() {
 	defer cl.wg.Done()
 	for {
+		cl.c.SetReadDeadline(time.Now().Add(cl.readTimeout))
 		t, payload, err := readFrame(cl.c)
 		if err != nil {
 			cl.fatal(fmt.Errorf("fleet: link read: %w", err))
 			return
 		}
 		switch t {
+		case ftHeartbeat:
+			// The server's echo; arriving at all is its whole content.
 		case ftBatchAck:
-			// Informational; the service's counters are authoritative
-			// on its side, ours on this side.
+			// The service's counters are authoritative on its side,
+			// ours on this side; the hook lets Session retire the
+			// matching spooled batch.
+			if cl.cfg.OnBatchAck != nil {
+				var ack batchAckMsg
+				if err := json.Unmarshal(payload, &ack); err == nil {
+					cl.cfg.OnBatchAck(ack.Accepted, ack.Unknown)
+				}
+			}
 		case ftModelPush:
 			cl.handleModelPush(payload)
 		case ftError:
@@ -325,14 +420,7 @@ func (cl *Client) handleModelPush(payload []byte) {
 // tickLoop refreshes the lease and drains buffers on timers.
 func (cl *Client) tickLoop() {
 	defer cl.wg.Done()
-	hb := cl.cfg.Heartbeat
-	if hb <= 0 {
-		hb = cl.lease / 3
-	}
-	if hb <= 0 {
-		hb = DefaultLease / 3
-	}
-	hbT := time.NewTicker(hb)
+	hbT := time.NewTicker(cl.hb)
 	defer hbT.Stop()
 	var flushC <-chan time.Time
 	if cl.cfg.FlushInterval > 0 {
@@ -356,7 +444,9 @@ func (cl *Client) tickLoop() {
 	}
 }
 
-// Close flushes what it can and tears the link down.
+// Close tears the link down after a best-effort final Flush — bounded
+// by the write deadline — so a clean shutdown delivers the tail batch
+// instead of discarding it.
 func (cl *Client) Close() error {
 	cl.Flush()
 	cl.fatal(nil)

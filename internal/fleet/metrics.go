@@ -20,6 +20,14 @@ import (
 //	fleet_model_acks_total{result="ok|error"}         counter
 //	fleet_rollouts_total{outcome="promoted|rolled_back"} counter
 //	fleet_rollout_canarying                           gauge
+//
+// Link-side series (the gateway end; registered alone by
+// NewLinkMetrics, since a gateway has no server-side families):
+//
+//	fleet_link_up                                     gauge
+//	fleet_reconnects_total                            counter
+//	fleet_spool_depth                                 gauge
+//	fleet_spool_dropped_total                         counter
 type Metrics struct {
 	gateways      *obs.Gauge
 	leaseExpiries *obs.Counter
@@ -34,6 +42,11 @@ type Metrics struct {
 	promoted      *obs.Counter
 	rolledBack    *obs.Counter
 	canarying     *obs.Gauge
+
+	linkUp       *obs.Gauge
+	reconnects   *obs.Counter
+	spoolDepth   *obs.Gauge
+	spoolDropped *obs.Counter
 }
 
 // NewMetrics registers the fleet metric family on reg.
@@ -65,6 +78,51 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		rolledBack: rollouts.With("rolled_back"),
 		canarying: reg.Gauge("fleet_rollout_canarying",
 			"1 while a canary rollout is in flight, else 0."),
+	}
+}
+
+// NewLinkMetrics registers only the gateway-side link families on reg.
+// The link methods below are nil-field safe, so a link-only bundle and
+// a full server bundle are interchangeable where Session takes one.
+func NewLinkMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		linkUp: reg.Gauge("fleet_link_up",
+			"1 while the fleet link is connected, 0 while degraded."),
+		reconnects: reg.Counter("fleet_reconnects_total",
+			"Fleet link reconnections (successful re-handshakes after a drop)."),
+		spoolDepth: reg.Gauge("fleet_spool_depth",
+			"Un-acked fingerprint batches held for replay."),
+		spoolDropped: reg.Counter("fleet_spool_dropped_total",
+			"Fingerprints dropped because the replay spool hit its bound."),
+	}
+}
+
+func (m *Metrics) setLinkUp(up bool) {
+	if m == nil || m.linkUp == nil {
+		return
+	}
+	if up {
+		m.linkUp.Set(1)
+	} else {
+		m.linkUp.Set(0)
+	}
+}
+
+func (m *Metrics) incReconnect() {
+	if m != nil && m.reconnects != nil {
+		m.reconnects.Inc()
+	}
+}
+
+func (m *Metrics) setSpoolDepth(batches int) {
+	if m != nil && m.spoolDepth != nil {
+		m.spoolDepth.Set(int64(batches))
+	}
+}
+
+func (m *Metrics) addSpoolDropped(fingerprints int) {
+	if m != nil && m.spoolDropped != nil {
+		m.spoolDropped.Add(uint64(fingerprints))
 	}
 }
 

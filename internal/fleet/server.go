@@ -28,6 +28,16 @@ type ServerConfig struct {
 	// SweepInterval is how often expired leases are collected
 	// (0 selects half the registry lease).
 	SweepInterval time.Duration
+	// WriteTimeout bounds every frame write so one slow-consumer
+	// gateway cannot wedge the ack path or a model push forever
+	// (0 selects DefaultWriteTimeout).
+	WriteTimeout time.Duration
+	// ReadTimeout bounds how long a connection may sit silent before
+	// its handler gives up (0 selects twice the registry lease: a
+	// healthy gateway heartbeats at a third of the lease, and the
+	// sweeper owns registry-level expiry — this is the backstop that
+	// unblocks the conn goroutine from a half-open peer).
+	ReadTimeout time.Duration
 	// Metrics, if set, receives wire instrumentation.
 	Metrics *Metrics
 	// Logf, if set, receives connection lifecycle lines.
@@ -59,6 +69,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.SweepInterval <= 0 {
 		cfg.SweepInterval = cfg.Registry.Lease() / 2
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 2 * cfg.Registry.Lease()
 	}
 	return &Server{
 		cfg:       cfg,
@@ -189,7 +205,14 @@ func (sc *serverConn) close() {
 func (sc *serverConn) write(t frameType, payload []byte) error {
 	sc.writeMu.Lock()
 	defer sc.writeMu.Unlock()
+	sc.c.SetWriteDeadline(time.Now().Add(sc.srv.cfg.WriteTimeout))
 	return writeFrame(sc.c, t, payload)
+}
+
+// readFrame reads the next frame under the server's silence backstop.
+func (sc *serverConn) readFrame() (frameType, []byte, error) {
+	sc.c.SetReadDeadline(time.Now().Add(sc.srv.cfg.ReadTimeout))
+	return readFrame(sc.c)
 }
 
 func (sc *serverConn) writeJSON(t frameType, v any) error {
@@ -229,7 +252,7 @@ func (sc *serverConn) run() {
 	s := sc.srv
 
 	// Handshake: the first frame must be a hello.
-	t, payload, err := readFrame(sc.c)
+	t, payload, err := sc.readFrame()
 	if err != nil {
 		s.logf("fleet: %s: handshake read: %v", sc.remoteAddr(), err)
 		return
@@ -285,7 +308,7 @@ func (sc *serverConn) run() {
 	}
 
 	for {
-		t, payload, err := readFrame(sc.c)
+		t, payload, err := sc.readFrame()
 		if err != nil {
 			s.logf("fleet: gateway %s disconnected: %v", id, err)
 			return
@@ -294,7 +317,14 @@ func (sc *serverConn) run() {
 		s.cfg.Metrics.incFrame(t)
 		switch t {
 		case ftHeartbeat:
-			// The touch above is the whole point.
+			// The touch refreshes the lease; the echo is the gateway's
+			// read-liveness signal — without it a half-open peer looks
+			// identical to a quiet healthy server and the client's
+			// read deadline could not tell them apart.
+			if err := sc.write(ftHeartbeat, nil); err != nil {
+				s.logf("fleet: gateway %s: heartbeat echo: %v", id, err)
+				return
+			}
 		case ftBatch:
 			fps, err := decodeBatch(payload)
 			if err != nil {

@@ -1,0 +1,503 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotsentinel/internal/fingerprint"
+	"iotsentinel/internal/iotssp"
+)
+
+// DefaultSpoolBatches bounds the replay spool when the config does not
+// say otherwise: at the default batch size of 64 fingerprints that is
+// ~16k observations — minutes of outage for a busy gateway — before
+// drop-oldest kicks in.
+const DefaultSpoolBatches = 256
+
+// SessionState is the managed link's externally visible condition.
+type SessionState int32
+
+// Session states. Degraded is not an error: the gateway keeps serving
+// its local bank fail-closed while the session spools observations and
+// redials under backoff.
+const (
+	SessionDegraded SessionState = iota
+	SessionConnected
+	SessionClosed
+)
+
+// String returns the lowercase state name.
+func (s SessionState) String() string {
+	switch s {
+	case SessionConnected:
+		return "connected"
+	case SessionClosed:
+		return "closed"
+	default:
+		return "degraded"
+	}
+}
+
+// SessionConfig wires a managed fleet session.
+type SessionConfig struct {
+	// Client configures each underlying connection. GatewayID is
+	// required; Dialer/Addr, ApplyModel, BatchSize, FlushInterval,
+	// Heartbeat and the deadlines all mean what they mean on Client.
+	// The session takes over the client's ModelSHA (it re-offers the
+	// last applied bank on every redial so the registry's reconnect
+	// adoption works), its OnBatchAck (chained to any hook set here),
+	// and drives flushing itself when FlushInterval > 0.
+	Client ClientConfig
+	// Retry shapes the reconnect backoff; the zero value uses the
+	// iotssp defaults (100ms base, 5s cap, ×2, ±20% deterministic
+	// jitter). MaxAttempts is ignored — a session redials until
+	// closed; that is its job.
+	Retry iotssp.RetryPolicy
+	// Clock injects time for the backoff sleeps (nil selects the
+	// system clock); tests drive reconnect schedules without real
+	// waiting.
+	Clock iotssp.Clock
+	// SpoolBatches bounds how many sealed, un-acked batches are
+	// retained for replay across disconnects (0 selects
+	// DefaultSpoolBatches). When full the oldest batch is dropped
+	// and counted — bounded memory beats unbounded grief.
+	SpoolBatches int
+	// OnState, if set, observes every state transition (gatewayd logs
+	// and exposes it through /healthz). Called from session
+	// goroutines; must not block.
+	OnState func(SessionState)
+	// Metrics, if set, receives link instrumentation (NewLinkMetrics
+	// registers the gateway-side families).
+	Metrics *Metrics
+}
+
+// SessionStats is a point-in-time snapshot of the managed link.
+type SessionStats struct {
+	// Reconnects counts successful re-handshakes after a drop (the
+	// first connect is not a reconnect).
+	Reconnects uint64
+	// SpoolDepth is the number of sealed batches currently held.
+	SpoolDepth int
+	// SpoolDropped counts fingerprints discarded because the spool
+	// hit its bound.
+	SpoolDropped uint64
+}
+
+// Session is the resilient fleet link: it wraps Client with
+// auto-reconnect under jittered exponential backoff and a bounded
+// in-memory spool of un-acked fingerprint batches, replayed after
+// every hello/welcome re-handshake. Delivery is at-least-once — a
+// batch whose ack was lost in a disconnect is sent again, and the
+// central learner dedupes by canonical fingerprint key — and the
+// cumulative counters make counter resync idempotent. While no link
+// is up the session reports Degraded and keeps accepting
+// observations; the gateway's local serving is untouched either way.
+type Session struct {
+	cfg       SessionConfig
+	clock     iotssp.Clock
+	batchSize int
+	maxSpool  int
+	stable    time.Duration
+
+	// Cumulative assessment counters live here, not on the client,
+	// so they survive reconnects; each fresh connection's first
+	// counter frame then carries the full totals (idempotent resync).
+	assessed atomic.Uint64
+	unknown  atomic.Uint64
+
+	mu         sync.Mutex
+	cl         *Client // live connection, nil while degraded
+	pending    []fingerprint.Fingerprint
+	spool      [][]fingerprint.Fingerprint // sealed, oldest first
+	nextSend   int                         // spool batches already written on cl, awaiting ack
+	ackDebt    int                         // acks owed to batches dropped after being written
+	state      SessionState
+	closed     bool
+	modelSHA   string
+	everUp     bool
+	reconnects uint64
+	dropped    uint64
+
+	// sendMu serializes spool drains: the reconnect replay and the
+	// Observe/Flush paths must not interleave writes, or batches
+	// would hit the wire out of spool order and the FIFO ack
+	// matching would retire the wrong entries.
+	sendMu sync.Mutex
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewSession starts the managed link. It returns immediately: the
+// first connection attempt happens in the background, and until it
+// succeeds the session is Degraded and spooling. Close releases it.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Client.GatewayID == "" {
+		return nil, errors.New("fleet: SessionConfig.Client.GatewayID is required")
+	}
+	if cfg.Client.Dialer == nil && cfg.Client.Addr == "" {
+		return nil, errors.New("fleet: SessionConfig.Client needs an Addr or a Dialer")
+	}
+	s := &Session{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		batchSize: cfg.Client.BatchSize,
+		maxSpool:  cfg.SpoolBatches,
+		stable:    cfg.Retry.BaseDelay,
+		state:     SessionDegraded,
+		modelSHA:  cfg.Client.ModelSHA,
+	}
+	if s.clock == nil {
+		s.clock = iotssp.SystemClock()
+	}
+	if s.batchSize <= 0 {
+		s.batchSize = 64
+	}
+	if s.maxSpool <= 0 {
+		s.maxSpool = DefaultSpoolBatches
+	}
+	if s.stable <= 0 {
+		s.stable = 100 * time.Millisecond // the RetryPolicy default BaseDelay
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.cfg.Metrics.setLinkUp(false)
+	s.wg.Add(1)
+	go s.run()
+	if cfg.Client.FlushInterval > 0 {
+		s.wg.Add(1)
+		go s.flushLoop()
+	}
+	return s, nil
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.cfg.Client.Logf != nil {
+		s.cfg.Client.Logf(format, args...)
+	}
+}
+
+// clientConfig builds the per-connection config: the session's current
+// model SHA rides in the hello (registry reconnect adoption), acks and
+// model applies route back through the session, and the dial itself is
+// bounded and cancellable so Close never waits on a hung connect.
+func (s *Session) clientConfig() ClientConfig {
+	cfg := s.cfg.Client
+	s.mu.Lock()
+	cfg.ModelSHA = s.modelSHA
+	s.mu.Unlock()
+	userAck := cfg.OnBatchAck
+	cfg.OnBatchAck = func(accepted, unknown int) {
+		s.onAck()
+		if userAck != nil {
+			userAck(accepted, unknown)
+		}
+	}
+	if userApply := cfg.ApplyModel; userApply != nil {
+		cfg.ApplyModel = func(sha string, model []byte) error {
+			if err := userApply(sha, model); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.modelSHA = sha
+			s.mu.Unlock()
+			return nil
+		}
+	}
+	cfg.counterSrc = func() (uint64, uint64) {
+		// unknown first: RecordAssessment bumps assessed before
+		// unknown, so this read order keeps unknown ≤ assessed.
+		u := s.unknown.Load()
+		a := s.assessed.Load()
+		return a, u
+	}
+	// The session owns flush cadence; a per-client ticker would race
+	// the spool drain.
+	cfg.FlushInterval = 0
+	if cfg.Dialer == nil {
+		addr := cfg.Addr
+		timeout := cfg.WriteTimeout
+		if timeout <= 0 {
+			timeout = DefaultWriteTimeout
+		}
+		cfg.Dialer = func() (net.Conn, error) {
+			d := net.Dialer{Timeout: timeout}
+			return d.DialContext(s.ctx, "tcp", addr)
+		}
+	}
+	return cfg
+}
+
+// run is the reconnect loop: dial, replay, serve, back off, repeat.
+func (s *Session) run() {
+	defer s.wg.Done()
+	attempt := 0
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		default:
+		}
+		cl, err := Dial(s.clientConfig())
+		if err != nil {
+			attempt++
+			s.logf("fleet: link dial failed (attempt %d): %v", attempt, err)
+			if s.clock.Sleep(s.ctx, s.cfg.Retry.Backoff(attempt)) != nil {
+				return
+			}
+			continue
+		}
+		connectedAt := s.clock.Now()
+		s.mu.Lock()
+		s.cl = cl
+		s.nextSend = 0
+		reconnect := s.everUp
+		s.everUp = true
+		if reconnect {
+			s.reconnects++
+		}
+		s.mu.Unlock()
+		if reconnect {
+			s.cfg.Metrics.incReconnect()
+			s.logf("fleet: link re-established (reconnect #%d)", s.Stats().Reconnects)
+		}
+		s.setState(SessionConnected)
+		// Replay everything un-acked, then resync the cumulative
+		// counters; both are idempotent on the server side.
+		s.drain(cl)
+		cl.sendCounters()
+
+		select {
+		case <-s.ctx.Done():
+			// Best-effort tail delivery, deadline-bounded: Close sealed
+			// the pending batch before cancelling, so drain ships it.
+			s.flushInto(cl)
+			s.detach(cl)
+			cl.Close()
+			return
+		case <-cl.Done():
+			s.detach(cl)
+			cl.Close() // reap the connection's goroutines
+			s.setState(SessionDegraded)
+			s.logf("fleet: link lost: %v", cl.Err())
+			// A connection that died young counts as a failure so a
+			// flapping peer meets backoff, not a hot dial loop; one
+			// that lived resets the schedule.
+			if s.clock.Now().Sub(connectedAt) < s.stable {
+				attempt++
+				if s.clock.Sleep(s.ctx, s.cfg.Retry.Backoff(attempt)) != nil {
+					return
+				}
+			} else {
+				attempt = 0
+			}
+		}
+	}
+}
+
+// detach forgets cl as the live connection; whatever it had written
+// without an ack stays in the spool for the next connection's replay.
+func (s *Session) detach(cl *Client) {
+	s.mu.Lock()
+	if s.cl == cl {
+		s.cl = nil
+	}
+	s.nextSend = 0
+	s.mu.Unlock()
+}
+
+func (s *Session) setState(st SessionState) {
+	s.mu.Lock()
+	changed := s.state != st && s.state != SessionClosed
+	if changed {
+		s.state = st
+	}
+	s.mu.Unlock()
+	if !changed {
+		return
+	}
+	s.cfg.Metrics.setLinkUp(st == SessionConnected)
+	if s.cfg.OnState != nil {
+		s.cfg.OnState(st)
+	}
+}
+
+// State reports the link's current condition.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// ModelSHA returns the hex SHA-256 of the last bank the session
+// applied (or the configured initial value).
+func (s *Session) ModelSHA() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.modelSHA
+}
+
+// Stats snapshots the link's resilience counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{
+		Reconnects:   s.reconnects,
+		SpoolDepth:   len(s.spool),
+		SpoolDropped: s.dropped,
+	}
+}
+
+// RecordAssessment bumps the cumulative counters the service judges
+// canaries by; they travel with the next flush or heartbeat and
+// survive reconnects.
+func (s *Session) RecordAssessment(unknown bool) {
+	s.assessed.Add(1)
+	if unknown {
+		s.unknown.Add(1)
+	}
+}
+
+// Observe buffers one fingerprint. At BatchSize the pending batch is
+// sealed into the spool and — when a link is up — written out;
+// while degraded it just spools, bounded by SpoolBatches.
+func (s *Session) Observe(fp fingerprint.Fingerprint) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("fleet: session closed")
+	}
+	s.pending = append(s.pending, fp)
+	var cl *Client
+	if len(s.pending) >= s.batchSize {
+		s.sealLocked()
+		cl = s.cl
+	}
+	s.mu.Unlock()
+	if cl != nil {
+		s.drain(cl)
+	}
+	return nil
+}
+
+// sealLocked moves the pending batch into the spool, dropping the
+// oldest sealed batch when the bound is hit. Callers hold s.mu.
+func (s *Session) sealLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	if len(s.spool) >= s.maxSpool {
+		lost := len(s.spool[0])
+		if s.nextSend > 0 {
+			// The dropped batch was already written on the live conn;
+			// its ack will still arrive and must not retire a
+			// surviving batch.
+			s.nextSend--
+			s.ackDebt++
+		}
+		s.spool = s.spool[1:]
+		s.dropped += uint64(lost)
+		s.cfg.Metrics.addSpoolDropped(lost)
+		s.logf("fleet: spool full, dropped oldest batch (%d fingerprints)", lost)
+	}
+	s.spool = append(s.spool, s.pending)
+	s.pending = nil
+	s.cfg.Metrics.setSpoolDepth(len(s.spool))
+}
+
+// drain writes every not-yet-written spooled batch to cl in order.
+// The FIFO ack contract retires them as the server responds.
+func (s *Session) drain(cl *Client) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	for {
+		s.mu.Lock()
+		if s.cl != cl || s.nextSend >= len(s.spool) {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.spool[s.nextSend]
+		s.nextSend++
+		s.mu.Unlock()
+		if cl.writeBatch(batch) != nil {
+			// The client is dead; Done fires and the run loop resets
+			// nextSend so the next connection replays from the top.
+			return
+		}
+	}
+}
+
+// onAck retires the oldest outstanding batch. The server acks batches
+// in order per connection, so the front of the written window is
+// always the one being acknowledged — unless that slot was dropped by
+// the spool bound after being written, which the debt accounts for.
+func (s *Session) onAck() {
+	s.mu.Lock()
+	switch {
+	case s.ackDebt > 0:
+		s.ackDebt--
+	case s.nextSend > 0 && len(s.spool) > 0:
+		s.spool = s.spool[1:]
+		s.nextSend--
+	}
+	depth := len(s.spool)
+	s.mu.Unlock()
+	s.cfg.Metrics.setSpoolDepth(depth)
+}
+
+// Flush seals whatever is pending and, when a link is up, drains the
+// spool and resyncs counters. Degraded sessions just spool — that is
+// the point.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	s.sealLocked()
+	cl := s.cl
+	s.mu.Unlock()
+	return s.flushInto(cl)
+}
+
+func (s *Session) flushInto(cl *Client) error {
+	if cl == nil {
+		return nil
+	}
+	s.drain(cl)
+	return cl.sendCounters()
+}
+
+// flushLoop is the session-owned flush ticker (the client's own is
+// disabled so timer flushes and reconnect replays share one path).
+func (s *Session) flushLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.Client.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.Flush()
+		}
+	}
+}
+
+// Close stops the reconnect loop, attempts a final deadline-bounded
+// flush over any live link, and releases every session goroutine.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.sealLocked()
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	s.setState(SessionClosed)
+	return nil
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Subsystem health for the daemon endpoints. /healthz is liveness: it
+// always answers 200 with the per-subsystem report (the process is up;
+// here is its condition). /readyz is readiness: 503 unless every
+// critical subsystem probes OK, so an orchestrator or load balancer
+// stops routing to a gateway whose store came up degraded while a
+// merely flapping fleet link (non-critical by design — local serving
+// is fail-closed) never takes it out of rotation.
+
+// HealthStatus is one subsystem's probed condition.
+type HealthStatus int
+
+// Probe outcomes, ordered by severity.
+const (
+	HealthOK HealthStatus = iota
+	HealthDegraded
+	HealthDown
+)
+
+// String returns the lowercase status name.
+func (s HealthStatus) String() string {
+	switch s {
+	case HealthDegraded:
+		return "degraded"
+	case HealthDown:
+		return "down"
+	default:
+		return "ok"
+	}
+}
+
+// HealthProbe reports one subsystem's condition plus a human detail
+// line. Probes run on every request: keep them cheap and non-blocking
+// (read an atomic, not a socket).
+type HealthProbe func() (HealthStatus, string)
+
+// SubsystemHealth is one probe's result as the endpoints render it.
+type SubsystemHealth struct {
+	Name     string `json:"name"`
+	Status   string `json:"status"`
+	Critical bool   `json:"critical"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+type healthEntry struct {
+	critical bool
+	probe    HealthProbe
+}
+
+// Health is a registry of subsystem probes backing the /healthz and
+// /readyz endpoints.
+type Health struct {
+	mu     sync.Mutex
+	probes map[string]healthEntry
+}
+
+// NewHealth returns an empty probe registry.
+func NewHealth() *Health {
+	return &Health{probes: make(map[string]healthEntry)}
+}
+
+// Register adds (or replaces) a named subsystem probe. Critical
+// subsystems gate readiness; non-critical ones only show up in the
+// report.
+func (h *Health) Register(name string, critical bool, probe HealthProbe) {
+	h.mu.Lock()
+	h.probes[name] = healthEntry{critical: critical, probe: probe}
+	h.mu.Unlock()
+}
+
+// Check runs every probe, reporting readiness (all critical probes OK)
+// and the per-subsystem results in name order.
+func (h *Health) Check() (ready bool, subs []SubsystemHealth) {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.probes))
+	for name := range h.probes {
+		names = append(names, name)
+	}
+	entries := make([]healthEntry, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		entries = append(entries, h.probes[name])
+	}
+	h.mu.Unlock()
+
+	ready = true
+	subs = make([]SubsystemHealth, 0, len(names))
+	for i, name := range names {
+		status, detail := entries[i].probe()
+		if entries[i].critical && status != HealthOK {
+			ready = false
+		}
+		subs = append(subs, SubsystemHealth{
+			Name:     name,
+			Status:   status.String(),
+			Critical: entries[i].critical,
+			Detail:   detail,
+		})
+	}
+	return ready, subs
+}
+
+type healthReport struct {
+	Status     string            `json:"status"`
+	Subsystems []SubsystemHealth `json:"subsystems"`
+}
+
+func (h *Health) report() (ready bool, body []byte) {
+	ready, subs := h.Check()
+	status := "ok"
+	if !ready {
+		status = "degraded"
+	}
+	body, _ = json.MarshalIndent(healthReport{Status: status, Subsystems: subs}, "", "  ")
+	return ready, append(body, '\n')
+}
+
+// LiveHandler serves /healthz: always 200 while the process can
+// answer at all, with the full subsystem report as the body.
+func (h *Health) LiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, body := h.report()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	})
+}
+
+// ReadyHandler serves /readyz: 200 when every critical subsystem is
+// OK, 503 otherwise, same report body either way.
+func (h *Health) ReadyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		ready, body := h.report()
+		w.Header().Set("Content-Type", "application/json")
+		if ready {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write(body)
+	})
+}

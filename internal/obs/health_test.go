@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthEndpoints(t *testing.T) {
+	h := NewHealth()
+	storeStatus := HealthOK
+	h.Register("store", true, func() (HealthStatus, string) { return storeStatus, "journal clean" })
+	h.Register("fleet_link", false, func() (HealthStatus, string) { return HealthDegraded, "reconnecting" })
+
+	do := func(path string) (int, healthReport) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", path, nil)
+		switch path {
+		case "/healthz":
+			h.LiveHandler().ServeHTTP(rec, req)
+		case "/readyz":
+			h.ReadyHandler().ServeHTTP(rec, req)
+		}
+		var rep healthReport
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("%s body is not JSON: %v\n%s", path, err, rec.Body.String())
+		}
+		return rec.Code, rep
+	}
+
+	// A degraded non-critical subsystem shows in the report but does
+	// not gate readiness.
+	if code, rep := do("/healthz"); code != 200 || rep.Status != "ok" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, rep.Status)
+	}
+	code, rep := do("/readyz")
+	if code != 200 {
+		t.Fatalf("/readyz = %d with only a non-critical subsystem degraded, want 200", code)
+	}
+	if len(rep.Subsystems) != 2 || rep.Subsystems[0].Name != "fleet_link" || rep.Subsystems[1].Name != "store" {
+		t.Fatalf("subsystems = %+v, want [fleet_link store] in name order", rep.Subsystems)
+	}
+	if rep.Subsystems[0].Status != "degraded" || rep.Subsystems[0].Critical {
+		t.Fatalf("fleet_link rendered as %+v, want non-critical degraded", rep.Subsystems[0])
+	}
+
+	// A critical subsystem going degraded flips readiness to 503 while
+	// liveness stays 200 — restart nothing, route around it.
+	storeStatus = HealthDegraded
+	if code, rep := do("/readyz"); code != 503 || rep.Status != "degraded" {
+		t.Fatalf("/readyz = %d %q with critical store degraded, want 503 degraded", code, rep.Status)
+	}
+	if code, _ := do("/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d with critical store degraded, want 200 (liveness is not readiness)", code)
+	}
+
+	storeStatus = HealthOK
+	if code, _ := do("/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d after recovery, want 200", code)
+	}
+}
+
+func TestHealthStatusStrings(t *testing.T) {
+	if HealthOK.String() != "ok" || HealthDegraded.String() != "degraded" || HealthDown.String() != "down" {
+		t.Fatalf("status strings = %q %q %q", HealthOK, HealthDegraded, HealthDown)
+	}
+}
